@@ -1,0 +1,211 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (Section 5). Each benchmark runs the corresponding
+// experiment once per iteration on the simulated Xeon + ThunderX
+// platform and reports the headline quantities as custom metrics; the
+// full text tables are printed by `go run ./cmd/hetbench`.
+//
+// By default the reduced (-quick) suite runs so `go test -bench=.`
+// completes in minutes; set HETMP_BENCH_FULL=1 for the full-size
+// platform (16 + 96 cores).
+package hetmp_test
+
+import (
+	"os"
+	"testing"
+
+	"hetmp/internal/experiments"
+)
+
+// benchSuite builds a fresh suite per benchmark (experiments cache
+// calibrations and HetProbe decisions internally, so one suite per
+// b.N-loop keeps iterations independent).
+func benchSuite() *experiments.Suite {
+	if os.Getenv("HETMP_BENCH_FULL") != "" {
+		return experiments.Default()
+	}
+	return experiments.Quick()
+}
+
+// BenchmarkFigure1 regenerates the motivating example: BT-C,
+// streamcluster and lavaMD on Xeon only, ThunderX only and libHetMP.
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		rows, err := s.Figure1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(r.HetMP.Seconds(), r.Benchmark+"-hetmp-s")
+		}
+	}
+}
+
+// BenchmarkFigure4a and BenchmarkFigure4b regenerate the DSM
+// microbenchmark curves (throughput and fault period vs ops/byte).
+func BenchmarkFigure4a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		points, err := s.Figure4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := points[len(points)-1]
+		b.ReportMetric(last.RDMA.Throughput/1e6, "rdma-peak-Mops")
+		b.ReportMetric(last.TCPIP.Throughput/1e6, "tcpip-peak-Mops")
+	}
+}
+
+func BenchmarkFigure4b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		points, err := s.Figure4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		first := points[0]
+		b.ReportMetric(float64(first.RDMA.FaultPeriod.Microseconds()), "rdma-floor-us")
+		b.ReportMetric(float64(first.TCPIP.FaultPeriod.Microseconds()), "tcpip-floor-us")
+	}
+}
+
+// BenchmarkTable2 regenerates the HetProbe-measured core speed ratios
+// (paper: blackscholes 3:1, EP-C 2.5:1, kmeans 1:1, lavaMD 3.666:1).
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		rows, err := s.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(r.CSR, r.Benchmark+"-csr")
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates the Xeon baselines.
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		rows, err := s.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(r.Time.Seconds(), r.Benchmark+"-s")
+		}
+	}
+}
+
+// BenchmarkFigure6 regenerates the main result: per-configuration
+// speedups vs Xeon, plus the geomean and Oracle summary.
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		fig, err := s.Figure6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(fig.Geomean[experiments.CfgHetProbe], "hetprobe-geomean-x")
+		b.ReportMetric(fig.Geomean[experiments.CfgThunderX], "thunderx-geomean-x")
+		b.ReportMetric(fig.Geomean[experiments.CfgIdealCSR], "idealcsr-geomean-x")
+		b.ReportMetric(fig.Geomean[experiments.CfgCrossDyn], "crossdyn-geomean-x")
+		b.ReportMetric(fig.Geomean["Oracle"], "oracle-geomean-x")
+	}
+}
+
+// BenchmarkFigure7 regenerates the page-fault periods driving the
+// cross-node decision.
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		rows, th, err := s.Figure7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(th.Microseconds()), "threshold-us")
+		cross := 0
+		for _, r := range rows {
+			if r.CrossNode {
+				cross++
+			}
+		}
+		b.ReportMetric(float64(cross), "cross-node-benchmarks")
+	}
+}
+
+// BenchmarkFigure8 regenerates the cache-miss node-selection data.
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		rows, _, err := s.Figure8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(r.MissesPerKinst, r.Benchmark+"-mpki")
+		}
+	}
+}
+
+// BenchmarkFigure9 regenerates the TCP/IP case study (blackscholes with
+// growing round counts; crossover where the fault period passes the
+// TCP/IP threshold).
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		rows, th, err := s.Figure9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(th.Microseconds()), "tcp-threshold-us")
+		last := rows[len(rows)-1]
+		b.ReportMetric(float64(last.Homogeneous)/float64(last.HetProbe), "speedup-at-max-rounds")
+	}
+}
+
+// BenchmarkProbeOverhead regenerates the Section 5 probing-overhead
+// analysis (paper: ≈5.5% for cross-node benchmarks, ≈6.1% for
+// Xeon-placed ones).
+func BenchmarkProbeOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		fig, err := s.Figure6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := experiments.ProbeOverhead(fig)
+		for _, r := range rows {
+			b.ReportMetric(r.Overhead*100, r.Benchmark+"-pct")
+		}
+	}
+}
+
+// BenchmarkAblationHierarchy quantifies the two-level thread hierarchy
+// against the flat ablation (DESIGN.md §6).
+func BenchmarkAblationHierarchy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		rows, err := s.AblationHierarchy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rows[0].Faults), "hier-faults")
+		b.ReportMetric(float64(rows[1].Faults), "flat-faults")
+	}
+}
+
+// BenchmarkAblationSettling quantifies deterministic probe distribution
+// against rotated probes (data settling, Section 3.1).
+func BenchmarkAblationSettling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		rows, err := s.AblationSettling()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rows[0].Faults), "deterministic-faults")
+		b.ReportMetric(float64(rows[1].Faults), "rotated-faults")
+	}
+}

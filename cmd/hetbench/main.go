@@ -1,0 +1,147 @@
+// Command hetbench runs the paper's full evaluation (every table and
+// figure of Section 5) on the simulated Xeon + ThunderX platform and
+// prints the results as text tables.
+//
+// Usage:
+//
+//	hetbench                 # the whole evaluation, full-size
+//	hetbench -quick          # reduced sizes (seconds instead of minutes)
+//	hetbench -run fig6,tbl2  # selected experiments only
+//	hetbench -setup          # print the platform (Table 1)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hetmp/internal/experiments"
+	"hetmp/internal/machine"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "run reduced problem sizes on a smaller platform")
+		only  = flag.String("run", "", "comma-separated experiments: fig1,fig4,tbl2,tbl3,fig6,fig7,fig8,fig9,overhead,ablation (default: all)")
+		setup = flag.Bool("setup", false, "print the simulated platform (Table 1) and exit")
+		scale = flag.Float64("scale", 0, "override the benchmark scale factor")
+	)
+	flag.Parse()
+	if err := run(*quick, *only, *setup, *scale); err != nil {
+		fmt.Fprintln(os.Stderr, "hetbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(quick bool, only string, setup bool, scale float64) error {
+	if setup {
+		printSetup()
+		return nil
+	}
+	s := experiments.Default()
+	if quick {
+		s = experiments.Quick()
+	}
+	if scale > 0 {
+		s.Scale = scale
+	}
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(only, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			want[name] = true
+		}
+	}
+	selected := func(name string) bool { return len(want) == 0 || want[name] }
+
+	if selected("fig1") {
+		rows, err := s.Figure1()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderFigure1(rows))
+	}
+	if selected("fig4") {
+		points, err := s.Figure4()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderFigure4(points))
+	}
+	if selected("tbl2") {
+		rows, err := s.Table2()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderTable2(rows))
+	}
+	if selected("tbl3") {
+		rows, err := s.Table3()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderTable3(rows))
+	}
+	var fig6 experiments.Fig6
+	haveFig6 := false
+	if selected("fig6") || selected("overhead") {
+		var err error
+		fig6, err = s.Figure6()
+		if err != nil {
+			return err
+		}
+		haveFig6 = true
+	}
+	if selected("fig6") {
+		fmt.Println(experiments.RenderFigure6(fig6))
+	}
+	if selected("fig7") {
+		rows, th, err := s.Figure7()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderFigure7(rows, th))
+	}
+	if selected("fig8") {
+		rows, th, err := s.Figure8()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderFigure8(rows, th))
+	}
+	if selected("fig9") {
+		rows, th, err := s.Figure9()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderFigure9(rows, th))
+	}
+	if selected("overhead") && haveFig6 {
+		fmt.Println(experiments.RenderOverheads(experiments.ProbeOverhead(fig6)))
+	}
+	if selected("ablation") {
+		rows, err := s.AblationHierarchy()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderAblation("Ablation — two-level thread hierarchy (kmeans, cross-node dynamic)", rows))
+		rows, err = s.AblationSettling()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderAblation("Ablation — deterministic probe distribution (blackscholes, 12 rounds)", rows))
+	}
+	return nil
+}
+
+func printSetup() {
+	p := machine.PaperPlatform(1)
+	fmt.Println("Table 1 — simulated experimental setup")
+	for _, n := range p.Nodes {
+		fmt.Printf("  %-9s %s, %d cores @ %.1f GHz (boost %.1f), LLC %d MB (%d-level), mem %.0f GB/s, DSM handler %s\n",
+			n.Name, n.Arch, n.Cores, n.ClockGHz, n.SerialClockGHz,
+			n.Cache.LLCBytes>>20, n.Cache.Levels, n.Mem.BandwidthBytesPerSec/1e9, n.DSMHandlerCost)
+	}
+	fmt.Println("  Interconnect: 56 Gbps InfiniBand models (RDMA ≈30µs/fault, TCP/IP ≈90–120µs/fault)")
+}

@@ -1,0 +1,74 @@
+// Command hetmprun executes one of the paper's benchmarks under a
+// chosen work-distribution configuration on the simulated platform and
+// reports the model execution time, DSM faults and (for HetProbe) the
+// scheduler's decisions.
+//
+// Usage:
+//
+//	hetmprun -bench kmeans -config HetProbe
+//	hetmprun -bench BT-C -config ThunderX -protocol tcpip -scale 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"hetmp/internal/experiments"
+	"hetmp/internal/interconnect"
+	"hetmp/internal/kernels"
+)
+
+func main() {
+	var (
+		bench    = flag.String("bench", "kmeans", "benchmark name (see -list)")
+		config   = flag.String("config", experiments.CfgHetProbe, "Xeon | ThunderX | Ideal CSR | Cross-Node Dynamic | HetProbe")
+		protocol = flag.String("protocol", "rdma", "rdma or tcpip")
+		scale    = flag.Float64("scale", 0, "problem scale override")
+		quick    = flag.Bool("quick", false, "reduced platform")
+		list     = flag.Bool("list", false, "list benchmarks and exit")
+	)
+	flag.Parse()
+	if *list {
+		for _, n := range kernels.PaperOrder {
+			fmt.Println(n)
+		}
+		return
+	}
+	if err := run(*bench, *config, *protocol, *scale, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "hetmprun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench, config, protocol string, scale float64, quick bool) error {
+	s := experiments.Default()
+	if quick {
+		s = experiments.Quick()
+	}
+	if scale > 0 {
+		s.Scale = scale
+	}
+	proto := interconnect.RDMA56()
+	if protocol == "tcpip" {
+		proto = interconnect.TCPIP()
+	}
+	res, err := s.Run(bench, config, proto)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s under %s (%s): %s, %d DSM faults\n",
+		bench, config, proto.Name, experiments.FormatDuration(res.Time), res.Faults)
+	if len(res.Decisions) > 0 {
+		ids := make([]string, 0, len(res.Decisions))
+		for id := range res.Decisions {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			fmt.Printf("  %-24s %s\n", id, res.Decisions[id])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,44 @@
+// Command hetworker is an RPC worker daemon: it serves the built-in
+// demo tasks (pi, blackscholes, mandelbrot) to hetmp RPC pools. Use
+// -throttle to emulate a slower node (e.g. a low-power ISA).
+//
+// Usage:
+//
+//	hetworker -listen :7001 -name xeonish
+//	hetworker -listen :7002 -name armish -throttle 4ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"time"
+
+	"hetmp/internal/rpc"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":7001", "address to listen on")
+		name     = flag.String("name", "", "worker name reported to pools (default: listen address)")
+		throttle = flag.Duration("throttle", 0, "extra delay per 1000 iterations (emulates a slower node)")
+	)
+	flag.Parse()
+	if err := run(*listen, *name, *throttle); err != nil {
+		fmt.Fprintln(os.Stderr, "hetworker:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, name string, throttle time.Duration) error {
+	rpc.RegisterBuiltins()
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	srv := &rpc.Server{Name: name, Cores: runtime.GOMAXPROCS(0), Throttle: throttle}
+	fmt.Printf("hetworker %q serving on %s (throttle %v)\n", name, ln.Addr(), throttle)
+	return srv.Serve(ln)
+}

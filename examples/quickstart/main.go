@@ -1,0 +1,48 @@
+// Quickstart: use hetmp as an ordinary parallel-for library on real
+// goroutines — work-sharing loops, dynamic scheduling and a
+// hierarchical reduction, no simulation involved.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"hetmp"
+)
+
+func main() {
+	cl, err := hetmp.NewLocalCluster(hetmp.LocalConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt := hetmp.New(cl, hetmp.Options{})
+
+	const n = 1 << 20
+	values := make([]float64, n)
+
+	err = rt.Run(func(a *hetmp.App) {
+		// A work-sharing loop: fill the vector in parallel.
+		a.ParallelFor("fill", n, hetmp.Dynamic(4096), func(e hetmp.Env, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				values[i] = math.Sin(float64(i) / 1000)
+			}
+		})
+		// A typed hierarchical reduction.
+		sum := hetmp.Reduce(a, "sum", n, hetmp.Static(),
+			0.0,
+			func(e hetmp.Env, lo, hi int, acc float64) float64 {
+				for i := lo; i < hi; i++ {
+					acc += values[i] * values[i]
+				}
+				return acc
+			},
+			func(x, y float64) float64 { return x + y },
+		)
+		fmt.Printf("Σ sin²(i/1000) over %d elements = %.4f (expect ≈ n/2 = %d)\n", n, sum, n/2)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ran on %d goroutines in %v\n", cl.NodeSpecs()[0].Cores, cl.Elapsed())
+}

@@ -1,0 +1,66 @@
+// RPCCluster: distribute real work over TCP workers with HetProbe-style
+// measurement. Two worker daemons start in-process (one throttled to
+// stand in for a slower ISA); the pool probes both, measures the speed
+// ratio, skews the distribution accordingly and prices a synthetic
+// option portfolio.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"runtime"
+	"time"
+
+	"hetmp/internal/rpc"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	rpc.RegisterBuiltins()
+
+	// Spin up two workers on loopback ports: "bignode" at full speed
+	// and "smallnode" throttled 2ms per 1000 iterations.
+	addrs := make([]string, 0, 2)
+	for _, w := range []struct {
+		name     string
+		throttle time.Duration
+	}{
+		{"bignode", 0},
+		{"smallnode", 2 * time.Millisecond},
+	} {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		srv := &rpc.Server{Name: w.name, Cores: runtime.GOMAXPROCS(0), Throttle: w.throttle}
+		go srv.Serve(ln)
+		defer srv.Close()
+		addrs = append(addrs, ln.Addr().String())
+	}
+
+	pool, err := rpc.Dial(addrs...)
+	if err != nil {
+		return err
+	}
+	defer pool.Close()
+	fmt.Printf("connected to workers: %v\n", pool.Workers())
+
+	const n = 2_000_000
+	start := time.Now()
+	total, stats, err := pool.Run("blackscholes", n, 0, rpc.RunOptions{ProbeFraction: 0.1})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("portfolio value over %d options: %.2f (%.2fs)\n", n, total, time.Since(start).Seconds())
+	for _, s := range stats {
+		fmt.Printf("  %-10s speed ratio %.2f : 1, %7d iterations, busy %v\n",
+			s.Name, s.SpeedRatio, s.Iterations, s.Elapsed.Round(time.Millisecond))
+	}
+	return nil
+}

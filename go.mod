@@ -1,0 +1,3 @@
+module hetmp
+
+go 1.22

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"hetmp/internal/cluster"
+)
+
+// trickyBody builds a region whose first iterations (the probe window)
+// are compute-only but whose tail writes shared pages heavily — the
+// irregular shape the paper's Section 5 warns the probe window can
+// mispredict.
+func trickyBody(r *cluster.Region, probeEnd int) Body {
+	return func(e cluster.Env, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if i >= probeEnd {
+				e.Store(r, int64(i%512)*page, 8)
+			}
+		}
+		e.Compute(float64(hi-lo)*2_000, 0)
+	}
+}
+
+func TestAdaptiveMonitorFallsBack(t *testing.T) {
+	const n = 3200
+	run := func(adaptive bool) (Decision, bool) {
+		rt := newSimRuntime(t, Options{
+			AdaptiveMonitor:      adaptive,
+			FaultPeriodThreshold: 100 * time.Microsecond,
+		})
+		var r *cluster.Region
+		err := rt.Run(func(a *App) {
+			r = a.Alloc("hot", 512*page)
+			body := trickyBody(r, n/10+16*4) // probe ≈ first 10%
+			for i := 0; i < 4; i++ {
+				a.ParallelFor("tricky", n, HetProbeSchedule(), body)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rt.Decision("tricky")
+	}
+
+	dOff, ok := run(false)
+	if !ok {
+		t.Fatal("no decision without monitor")
+	}
+	dOn, ok := run(true)
+	if !ok {
+		t.Fatal("no decision with monitor")
+	}
+	// Without monitoring, the compute-only probe window keeps the
+	// region cross-node; with monitoring, the churning tail drags the
+	// EWMA'd fault period down and the decision flips.
+	if !dOff.CrossNode {
+		t.Skipf("probe window already detected the churn (period %v); adaptive monitor not exercised", dOff.FaultPeriod)
+	}
+	if dOn.CrossNode {
+		t.Errorf("adaptive monitor did not fall back: %s", dOn)
+	}
+}
+
+func TestAdaptiveMonitorLeavesGoodDecisionsAlone(t *testing.T) {
+	rt := newSimRuntime(t, Options{AdaptiveMonitor: true})
+	err := rt.Run(func(a *App) {
+		for i := 0; i < 3; i++ {
+			a.ParallelFor("ep", 3200, HetProbeSchedule(), computeBody(50_000, 0))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := rt.Decision("ep")
+	if !ok || !d.CrossNode {
+		t.Fatalf("compute-heavy region lost its cross-node decision under monitoring: %v", d)
+	}
+}

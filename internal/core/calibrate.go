@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"hetmp/internal/cluster"
+	"hetmp/internal/dsm"
+)
+
+// CalibrationPoint is one sample of the Section 3.2 microbenchmark: the
+// compute intensity (operations per byte transferred), the aggregate
+// throughput achieved, and the observed per-thread page-fault period.
+type CalibrationPoint struct {
+	OpsPerByte  float64
+	Throughput  float64 // operations per second, all remote threads
+	FaultPeriod time.Duration
+}
+
+// Calibrate runs the paper's DSM microbenchmark: threads on every
+// non-origin node touch disjoint sets of pages (forcing the protocol to
+// transfer them) and then execute a configurable number of compute
+// operations per transferred byte. It returns one point per intensity
+// in opsPerByte. mkCluster must return a fresh cluster per call (the
+// microbenchmark re-runs the control loop on clean DSM state).
+//
+// The resulting curve reproduces Figure 4: throughput saturates once
+// computation amortizes fault costs, and the fault period at the
+// break-even intensity is the threshold HetProbe uses to judge
+// cross-node profitability (DeriveThreshold).
+func Calibrate(mkCluster func() (cluster.Cluster, error), opsPerByte []float64, pagesPerThread int) ([]CalibrationPoint, error) {
+	if pagesPerThread <= 0 {
+		pagesPerThread = 16
+	}
+	points := make([]CalibrationPoint, 0, len(opsPerByte))
+	for _, k := range opsPerByte {
+		cl, err := mkCluster()
+		if err != nil {
+			return nil, err
+		}
+		pt, err := calibratePoint(cl, k, pagesPerThread)
+		if err != nil {
+			return nil, fmt.Errorf("calibrate at %g ops/byte: %w", k, err)
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+func calibratePoint(cl cluster.Cluster, opsPerByte float64, pagesPerThread int) (CalibrationPoint, error) {
+	specs := cl.NodeSpecs()
+	origin := cl.Origin()
+	type result struct {
+		elapsed time.Duration
+		faults  int64
+		ops     float64
+	}
+	var results []result
+	var wall time.Duration
+
+	// Count remote threads: one per core on every non-origin node.
+	remoteThreads := 0
+	for i, s := range specs {
+		if i != origin {
+			remoteThreads += s.Cores
+		}
+	}
+	if remoteThreads == 0 {
+		return CalibrationPoint{}, fmt.Errorf("platform has no remote node to calibrate against")
+	}
+	results = make([]result, remoteThreads)
+
+	pageBytes := int64(dsm.PageSize)
+	region := cl.Alloc("calibrate", int64(remoteThreads)*int64(pagesPerThread)*pageBytes, origin)
+
+	err := cl.Run(func(master cluster.Env) {
+		// Control loop: the source node touches all pages, forcing the
+		// protocol to bring everything back to origin memory.
+		master.Store(region, 0, region.Size())
+
+		start := master.Now()
+		handles := make([]cluster.Handle, 0, remoteThreads)
+		tid := 0
+		for nodeIdx, s := range specs {
+			if nodeIdx == origin {
+				continue
+			}
+			for c := 0; c < s.Cores; c++ {
+				id := tid
+				tid++
+				node := nodeIdx
+				handles = append(handles, master.Spawn(node, fmt.Sprintf("cal%d", id), func(e cluster.Env) {
+					t0 := e.Now()
+					before := e.Counters()
+					base := int64(id) * int64(pagesPerThread) * pageBytes
+					opsPerPage := opsPerByte * float64(pageBytes)
+					for p := 0; p < pagesPerThread; p++ {
+						e.Load(region, base+int64(p)*pageBytes, pageBytes)
+						e.Compute(opsPerPage, 0.5)
+					}
+					delta := e.Counters().Sub(before)
+					results[id] = result{
+						elapsed: e.Now() - t0,
+						faults:  delta.RemoteFaults,
+						ops:     opsPerPage * float64(pagesPerThread),
+					}
+				}))
+			}
+		}
+		for _, h := range handles {
+			h.Join(master)
+		}
+		wall = master.Now() - start
+	})
+	if err != nil {
+		return CalibrationPoint{}, err
+	}
+
+	var totalElapsed time.Duration
+	var totalFaults int64
+	var totalOps float64
+	for _, r := range results {
+		totalElapsed += r.elapsed
+		totalFaults += r.faults
+		totalOps += r.ops
+	}
+	pt := CalibrationPoint{OpsPerByte: opsPerByte}
+	if wall > 0 {
+		pt.Throughput = totalOps / wall.Seconds()
+	}
+	if totalFaults > 0 {
+		pt.FaultPeriod = totalElapsed / time.Duration(totalFaults)
+	} else {
+		pt.FaultPeriod = infinitePeriod
+	}
+	return pt, nil
+}
+
+// DeriveThreshold returns the fault-period threshold for cross-node
+// profitability: the fault period at the break-even compute intensity,
+// i.e. where the microbenchmark's throughput reaches frac of the
+// measured plateau (the paper eyeballs the same break-even point off
+// Figure 4). The period is linearly interpolated between the bracketing
+// samples, so a coarse intensity grid still yields a smooth threshold.
+// Points must be ordered by ascending intensity. Returns 0 if points is
+// empty.
+func DeriveThreshold(points []CalibrationPoint, frac float64) time.Duration {
+	if len(points) == 0 {
+		return 0
+	}
+	if frac <= 0 || frac > 1 {
+		frac = 0.35
+	}
+	var peak float64
+	for _, p := range points {
+		if p.Throughput > peak {
+			peak = p.Throughput
+		}
+	}
+	target := frac * peak
+	for i, p := range points {
+		if p.Throughput < target {
+			continue
+		}
+		if i == 0 || p.FaultPeriod == infinitePeriod {
+			return p.FaultPeriod
+		}
+		prev := points[i-1]
+		if prev.FaultPeriod == infinitePeriod || p.Throughput == prev.Throughput {
+			return p.FaultPeriod
+		}
+		// Interpolate the period between the bracketing samples.
+		t := (target - prev.Throughput) / (p.Throughput - prev.Throughput)
+		return prev.FaultPeriod + time.Duration(t*float64(p.FaultPeriod-prev.FaultPeriod))
+	}
+	return points[len(points)-1].FaultPeriod
+}

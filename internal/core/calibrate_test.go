@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"hetmp/internal/cluster"
+	"hetmp/internal/interconnect"
+)
+
+func mkCalCluster(t *testing.T, proto interconnect.Spec) func() (cluster.Cluster, error) {
+	t.Helper()
+	return func() (cluster.Cluster, error) {
+		return cluster.NewSim(cluster.SimConfig{
+			Platform: smallPlatform(),
+			Protocol: proto,
+			Seed:     1,
+		})
+	}
+}
+
+var calIntensities = []float64{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536}
+
+func TestCalibrateCurveShape(t *testing.T) {
+	points, err := Calibrate(mkCalCluster(t, interconnect.RDMA56()), calIntensities, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(calIntensities) {
+		t.Fatalf("points = %d, want %d", len(points), len(calIntensities))
+	}
+	// Figure 4a: throughput must rise with compute intensity and
+	// saturate: the last point must dwarf the first.
+	first, last := points[0].Throughput, points[len(points)-1].Throughput
+	if last < 10*first {
+		t.Errorf("throughput did not rise to a plateau: first=%.3g last=%.3g ops/s", first, last)
+	}
+	// Figure 4b: fault period grows with intensity.
+	for i := 1; i < len(points); i++ {
+		if points[i].FaultPeriod < points[i-1].FaultPeriod {
+			t.Errorf("fault period decreased: %v at %g ops/byte after %v at %g",
+				points[i].FaultPeriod, points[i].OpsPerByte,
+				points[i-1].FaultPeriod, points[i-1].OpsPerByte)
+		}
+	}
+	// Low intensities must sit near the raw fault cost (~tens of µs).
+	if points[0].FaultPeriod > 200*time.Microsecond {
+		t.Errorf("fault period at 1 op/byte = %v, want tens of µs", points[0].FaultPeriod)
+	}
+}
+
+func TestDeriveThresholdOrdering(t *testing.T) {
+	rdma, err := Calibrate(mkCalCluster(t, interconnect.RDMA56()), calIntensities, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcp, err := Calibrate(mkCalCluster(t, interconnect.TCPIP()), calIntensities, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thR := DeriveThreshold(rdma, 0.9)
+	thT := DeriveThreshold(tcp, 0.9)
+	if thR <= 0 || thR == infinitePeriod {
+		t.Fatalf("RDMA threshold = %v", thR)
+	}
+	if thT <= thR {
+		t.Errorf("TCP/IP threshold (%v) must exceed RDMA threshold (%v), cf. 7600µs vs 100µs in the paper", thT, thR)
+	}
+	// Same order of magnitude as the paper's numbers: RDMA threshold
+	// within tens of µs to low ms.
+	if thR < 10*time.Microsecond || thR > 50*time.Millisecond {
+		t.Errorf("RDMA threshold %v implausible", thR)
+	}
+}
+
+func TestDeriveThresholdEdgeCases(t *testing.T) {
+	if got := DeriveThreshold(nil, 0.9); got != 0 {
+		t.Errorf("empty points threshold = %v, want 0", got)
+	}
+	pts := []CalibrationPoint{{OpsPerByte: 1, Throughput: 100, FaultPeriod: time.Millisecond}}
+	if got := DeriveThreshold(pts, 0.9); got != time.Millisecond {
+		t.Errorf("single-point threshold = %v", got)
+	}
+	// Bad frac falls back to a sane default rather than panicking.
+	if got := DeriveThreshold(pts, -1); got != time.Millisecond {
+		t.Errorf("negative frac threshold = %v", got)
+	}
+}
+
+func TestCalibrateRequiresRemoteNode(t *testing.T) {
+	solo := smallPlatform()
+	solo.Nodes = solo.Nodes[:1]
+	mk := func() (cluster.Cluster, error) {
+		return cluster.NewSim(cluster.SimConfig{Platform: solo, Seed: 1})
+	}
+	if _, err := Calibrate(mk, []float64{1}, 4); err == nil {
+		t.Error("calibration succeeded without a remote node")
+	}
+}

@@ -1,0 +1,402 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"hetmp/internal/cluster"
+)
+
+// probeDispatch hands each worker a constant-size, deterministically
+// assigned chunk of probe iterations (Section 3.1: constant per-thread
+// work for comparable timings; deterministic assignment so data
+// settles across invocations). With Options.RandomProbe the assignment
+// rotates per invocation — the settling ablation.
+type probeDispatch struct {
+	chunk  int
+	rotate int
+	total  int
+}
+
+var _ dispatcher = (*probeDispatch)(nil)
+
+func (d *probeDispatch) runWorker(e cluster.Env, w workerID, t *team, r *regionRun, ws *workerState) {
+	slot := w.flat
+	if d.rotate != 0 {
+		slot = (w.flat + d.rotate) % d.total
+	}
+	lo := slot * d.chunk
+	r.runSpan(e, lo, lo+d.chunk, ws)
+}
+
+// runHetProbe implements the HetProbe scheduler for one region
+// invocation: probe (unless the cached decision is mature), decide,
+// then distribute the remaining iterations.
+func (a *App) runHetProbe(regionID string, n int, spec HetProbeSpec, body Body, red *reduceRun) {
+	rt := a.rt
+
+	// With a designated probing region, every other region adopts its
+	// decision instead of probing itself.
+	if rt.opts.ProbeRegionID != "" && regionID != rt.opts.ProbeRegionID {
+		if main, ok := rt.cache.get(rt.opts.ProbeRegionID); ok && main.invocations > 0 {
+			a.executeDecision(main.decision, spec, 0, n, body, red)
+			return
+		}
+		// The probing region has not run yet: distribute across all
+		// nodes with plain static (the runtime's pre-decision default).
+		t := rt.teamFor(a.env, rt.allNodes())
+		desc := &regionRun{n: n, body: body, reduce: red,
+			sched: newStaticDispatch(t, 0, n, nil)}
+		t.dispatch(a.env, desc)
+		return
+	}
+
+	ent := rt.cache.entry(regionID)
+	allNodes := rt.allNodes()
+
+	// Mature cache entry: reuse the decision for the whole region, no
+	// probing (Section 3.1's probe cache).
+	if ent.invocations >= rt.opts.ProbeMaxInvocations {
+		rt.logf("hetprobe %s: cached decision %s", regionID, ent.decision)
+		a.executeDecision(ent.decision, spec, 0, n, body, red)
+		return
+	}
+
+	fullTeam := rt.teamFor(a.env, allNodes)
+	chunk := n * clampFraction(rt.opts.ProbeFraction) / fullTeam.total / 100
+	if chunk < 1 && n >= 2*fullTeam.total {
+		// Small regions still get probed with one iteration per thread.
+		chunk = 1
+	}
+	if chunk < 1 {
+		// Too few iterations to probe meaningfully: run the whole
+		// region static across every node and record nothing.
+		rt.logf("hetprobe %s: region too small to probe (n=%d, threads=%d)", regionID, n, fullTeam.total)
+		desc := &regionRun{n: n, body: body, reduce: red,
+			sched: newStaticDispatch(fullTeam, 0, n, nil)}
+		fullTeam.dispatch(a.env, desc)
+		return
+	}
+	probeIters := chunk * fullTeam.total
+
+	rotate := 0
+	if rt.opts.RandomProbe {
+		// Rotate by about half the team so a large share of probe
+		// chunks change nodes every invocation — maximal churn, the
+		// behaviour deterministic assignment avoids.
+		rotate = (ent.invocations + 1) * (fullTeam.total/2 + 1)
+	}
+	probeDesc := &regionRun{
+		n:       probeIters,
+		body:    body,
+		reduce:  red,
+		measure: true,
+		results: make([]measurement, fullTeam.total),
+		sched:   &probeDispatch{chunk: chunk, rotate: rotate, total: fullTeam.total},
+	}
+	fullTeam.dispatch(a.env, probeDesc)
+	var probePartial any
+	if red != nil {
+		probePartial = red.out
+	}
+
+	// Aggregate the probe measurements.
+	stats := summarizeProbe(fullTeam, probeDesc.results)
+	ent.update(stats, rt.opts.EWMAAlpha)
+	ent.cumTime += stats.windowTime
+	ent.decision = rt.decide(ent, spec)
+	ent.invocations++
+	rt.logf("hetprobe %s: invocation %d: %s", regionID, ent.invocations, ent.decision)
+
+	// Distribute the remaining iterations per the decision, measuring
+	// them too: the cache-miss metric must reflect the whole region,
+	// not just the probe window (whose small per-thread footprint stays
+	// artificially cache-warm). The paper gets the same effect from
+	// region-wide offline counter collection.
+	if n > probeIters {
+		rem := a.executeDecisionMeasured(ent.decision, spec, probeIters, n, body, red)
+		if red != nil {
+			red.out = red.combine(probePartial, red.out)
+		}
+		var instr, misses, remFaults int64
+		var remTime time.Duration
+		for _, m := range rem {
+			instr += m.delta.Instructions
+			misses += m.delta.LLCMisses
+			remFaults += m.delta.RemoteFaults
+			remTime += m.elapsed
+		}
+		if instr > 0 {
+			combined := float64(misses+stats.misses) / float64(instr+stats.instr) * 1000
+			ent.replaceMissPerK(combined, rt.opts.EWMAAlpha)
+			// Re-derive the decision from the refined metric so the
+			// next invocation (and the cached decision) see it.
+			ent.decision = rt.decide(ent, spec)
+		}
+		if rt.opts.AdaptiveMonitor && ent.decision.CrossNode && remFaults > 0 {
+			// Continuous monitoring (Section 5 future work): the
+			// post-decision phase keeps faulting harder than the probe
+			// window suggested. Fold its fault period into the entry
+			// and re-decide — if it sinks below the threshold, the
+			// next invocation falls back to a single node.
+			remPeriod := remTime / time.Duration(remFaults)
+			if ent.faultPeriod == infinitePeriod {
+				// The probe window saw no faults at all; the tail's
+				// measurement is the only real signal.
+				ent.faultPeriod = remPeriod
+			} else {
+				ent.faultPeriod = ewmaDur(remPeriod, ent.faultPeriod, rt.opts.EWMAAlpha)
+			}
+			ent.decision = rt.decide(ent, spec)
+			if !ent.decision.CrossNode {
+				rt.logf("hetprobe %s: adaptive monitor: post-probe fault period %v below threshold, falling back to single node",
+					regionID, remPeriod)
+			}
+		}
+		ent.cumTime += remTime
+	} else if red != nil {
+		red.out = probePartial
+	}
+}
+
+func clampFraction(f float64) int {
+	pct := int(f * 100)
+	if pct < 1 {
+		pct = 1
+	}
+	if pct > 50 {
+		pct = 50
+	}
+	return pct
+}
+
+// probeStats are the aggregated measurements of one probing period.
+type probeStats struct {
+	perIter     map[int]time.Duration // node → mean per-iteration time
+	faultPeriod time.Duration
+	missPerK    float64
+	instr       int64
+	misses      int64
+	windowTime  time.Duration
+}
+
+// summarizeProbe turns per-worker measurements into per-node statistics
+// and the global fault period / cache-miss metrics.
+func summarizeProbe(t *team, results []measurement) probeStats {
+	type agg struct {
+		elapsed time.Duration
+		iters   int
+	}
+	perNode := make(map[int]agg, len(t.nodes))
+	var totalElapsed time.Duration
+	var totalFaults, totalInstr, totalMisses int64
+	flat := 0
+	for _, node := range t.nodes {
+		for i := 0; i < t.perNode[node]; i++ {
+			m := results[flat]
+			flat++
+			a := perNode[node]
+			// Core speed ratios compare the nodes' compute + local
+			// memory behaviour; DSM fault stalls are excluded (at
+			// scale-model sizes the probe chunks are too small to
+			// amortize them, and faults vanish once data settles —
+			// including them creates an unstable redistribution
+			// feedback loop). The fault *period* below still uses the
+			// full elapsed time, as the paper specifies.
+			a.elapsed += m.elapsed - m.delta.FaultStall
+			a.iters += m.iters
+			perNode[node] = a
+			totalElapsed += m.elapsed
+			totalFaults += m.delta.RemoteFaults
+			totalInstr += m.delta.Instructions
+			totalMisses += m.delta.LLCMisses
+		}
+	}
+	stats := probeStats{perIter: make(map[int]time.Duration, len(perNode))}
+	for node, a := range perNode {
+		if a.iters > 0 {
+			stats.perIter[node] = a.elapsed / time.Duration(a.iters)
+		}
+	}
+	if totalFaults > 0 {
+		stats.faultPeriod = totalElapsed / time.Duration(totalFaults)
+	} else {
+		stats.faultPeriod = infinitePeriod
+	}
+	if totalInstr > 0 {
+		stats.missPerK = float64(totalMisses) / float64(totalInstr) * 1000
+	}
+	stats.instr = totalInstr
+	stats.misses = totalMisses
+	stats.windowTime = totalElapsed
+	return stats
+}
+
+// decide answers the scheduler's three questions (Section 3.2): use
+// multiple nodes? with what split? or which single node?
+func (rt *Runtime) decide(ent *probeEntry, spec HetProbeSpec) Decision {
+	d := Decision{
+		FaultPeriod:    ent.faultPeriod,
+		MissesPerKinst: ent.missPerK,
+		PerIterTime:    copyDur(ent.perIter),
+		CumTime:        ent.cumTime,
+	}
+	specs := rt.cl.NodeSpecs()
+	if len(specs) == 1 {
+		d.CrossNode = false
+		d.Node = 0
+		return d
+	}
+
+	// Q1: is there enough computation per byte moved to amortize DSM
+	// costs? With per-node thresholds (the Section 5 multi-node
+	// extension) each remote node is enabled independently; the origin
+	// is always enabled.
+	origin := rt.cl.Origin()
+	enabled := []int{origin}
+	for node := range specs {
+		if node == origin {
+			continue
+		}
+		if ent.faultPeriod >= rt.nodeThreshold(node) {
+			enabled = append(enabled, node)
+		}
+	}
+	sort.Ints(enabled)
+	if len(enabled) > 1 {
+		d.CrossNode = true
+		d.Nodes = enabled
+		// Q2: split work by measured per-core speed. A thread's weight
+		// is proportional to 1/perIterTime; normalize so the slowest
+		// enabled node has weight 1, giving the paper's "X : 1" CSR
+		// form.
+		d.CSR = make(map[int]float64, len(enabled))
+		for _, node := range enabled {
+			if t := ent.perIter[node]; t > 0 {
+				d.CSR[node] = 1 / float64(t)
+			}
+		}
+		var slowest float64
+		for _, w := range d.CSR {
+			if slowest == 0 || w < slowest {
+				slowest = w
+			}
+		}
+		if slowest > 0 {
+			for node := range d.CSR {
+				d.CSR[node] /= slowest
+			}
+		}
+		return d
+	}
+
+	// Q3: single node — pick by cache behaviour. High miss rates favor
+	// the node with the strongest per-core cache hierarchy; low miss
+	// rates favor raw parallelism (Section 3.2's Xeon vs ThunderX
+	// dichotomy).
+	d.CrossNode = false
+	if spec.ForceNode >= 0 {
+		d.Node = spec.ForceNode
+		return d
+	}
+	if ent.missPerK > rt.opts.MissThreshold {
+		d.Node = bigCacheNode(rt)
+	} else {
+		d.Node = manyCoreNode(rt)
+	}
+	return d
+}
+
+// nodeThreshold returns the cross-node break-even threshold for one
+// node.
+func (rt *Runtime) nodeThreshold(node int) time.Duration {
+	if th, ok := rt.opts.NodeThresholds[node]; ok {
+		return th
+	}
+	return rt.opts.FaultPeriodThreshold
+}
+
+// bigCacheNode returns the node with the largest per-core LLC share
+// (ties: deeper hierarchy, then lower index).
+func bigCacheNode(rt *Runtime) int {
+	specs := rt.cl.NodeSpecs()
+	best, bestShare := 0, 0.0
+	for i, s := range specs {
+		share := float64(s.Cache.LLCBytes) / float64(s.Cores) * float64(s.Cache.Levels)
+		if share > bestShare {
+			best, bestShare = i, share
+		}
+	}
+	return best
+}
+
+// manyCoreNode returns the node with the most cores (ties: lower
+// index).
+func manyCoreNode(rt *Runtime) int {
+	specs := rt.cl.NodeSpecs()
+	best, bestCores := 0, 0
+	for i, s := range specs {
+		if s.Cores > bestCores {
+			best, bestCores = i, s.Cores
+		}
+	}
+	return best
+}
+
+// executeDecision dispatches iterations [base, n) per a HetProbe
+// decision: static with measured CSR across nodes, or static on the
+// chosen single node (the paper's default single-node fallback
+// scheduler). Threads on unused nodes belong to a different team and
+// stay parked, mirroring libHetMP joining them.
+func (a *App) executeDecision(d Decision, spec HetProbeSpec, base, n int, body Body, red *reduceRun) {
+	a.execDecision(d, spec, base, n, body, red, false)
+}
+
+// executeDecisionMeasured is executeDecision with per-worker counter
+// collection; it returns the measurements.
+func (a *App) executeDecisionMeasured(d Decision, spec HetProbeSpec, base, n int, body Body, red *reduceRun) []measurement {
+	return a.execDecision(d, spec, base, n, body, red, true)
+}
+
+func (a *App) execDecision(d Decision, spec HetProbeSpec, base, n int, body Body, red *reduceRun, measure bool) []measurement {
+	rt := a.rt
+	var t *team
+	var csr map[int]float64
+	if d.CrossNode {
+		nodes := d.Nodes
+		if len(nodes) == 0 {
+			nodes = rt.allNodes()
+		}
+		t = rt.teamFor(a.env, nodes)
+		csr = d.CSR
+	} else {
+		node := d.Node
+		if spec.ForceNode >= 0 {
+			node = spec.ForceNode
+		}
+		t = rt.teamFor(a.env, []int{node})
+	}
+	var subRed *reduceRun
+	if red != nil {
+		subRed = &reduceRun{init: red.init, combine: red.combine, body: red.body}
+	}
+	desc := &regionRun{n: n, body: body, reduce: subRed,
+		sched: newStaticDispatch(t, base, n-base, csr)}
+	if measure {
+		desc.measure = true
+		desc.results = make([]measurement, t.total)
+	}
+	t.dispatch(a.env, desc)
+	if red != nil {
+		red.out = subRed.out
+	}
+	return desc.results
+}
+
+func copyDur(m map[int]time.Duration) map[int]time.Duration {
+	out := make(map[int]time.Duration, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

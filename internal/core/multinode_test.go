@@ -1,0 +1,171 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"hetmp/internal/cluster"
+	"hetmp/internal/interconnect"
+	"hetmp/internal/machine"
+)
+
+// threeNodePlatform adds a second, smaller ThunderX-like node to the
+// test platform — the paper's Section 5 extension scenario ("consider a
+// system with nodes A and B with break-even points of 100 us/fault and
+// 200 us/fault").
+func threeNodePlatform() machine.Platform {
+	xeon := machine.XeonE5_2620v4().ScaleCaches(1.0 / 64)
+	xeon.Cores = 4
+	txA := machine.ThunderX().ScaleCaches(1.0 / 64)
+	txA.Cores = 8
+	txA.Name = "ThunderX-A"
+	txB := machine.ThunderX().ScaleCaches(1.0 / 64)
+	txB.Cores = 8
+	txB.Name = "ThunderX-B"
+	return machine.Platform{Nodes: []machine.NodeSpec{xeon, txA, txB}, Origin: 0}
+}
+
+func newThreeNodeRuntime(t *testing.T, opts Options) *Runtime {
+	t.Helper()
+	cl, err := cluster.NewSim(cluster.SimConfig{
+		Platform: threeNodePlatform(),
+		Protocol: interconnect.RDMA56(),
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(cl, opts)
+}
+
+func TestThreeNodeCrossExecution(t *testing.T) {
+	// A compute-heavy region must enable and use all three nodes.
+	rt := newThreeNodeRuntime(t, Options{})
+	const n = 4000
+	body, check := coverageBody(n)
+	err := rt.Run(func(a *App) {
+		a.ParallelFor("r", n, HetProbeSchedule(), func(e cluster.Env, lo, hi int) {
+			e.Compute(float64(hi-lo)*50_000, 0)
+			body(e, lo, hi)
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered, dup := check()
+	if covered != n || dup {
+		t.Fatalf("covered=%d dup=%v", covered, dup)
+	}
+	d, ok := rt.Decision("r")
+	if !ok || !d.CrossNode {
+		t.Fatalf("expected cross-node decision, got %v", d)
+	}
+	if len(d.Nodes) != 3 {
+		t.Fatalf("enabled nodes = %v, want all 3", d.Nodes)
+	}
+	// Both ThunderX nodes are identical, so their CSRs must match and
+	// the Xeon's must be larger.
+	if d.CSR[1] != d.CSR[2] {
+		t.Errorf("identical nodes got different CSRs: %v vs %v", d.CSR[1], d.CSR[2])
+	}
+	if d.CSR[0] <= d.CSR[1] {
+		t.Errorf("Xeon CSR %v not above ThunderX %v", d.CSR[0], d.CSR[1])
+	}
+}
+
+// TestPerNodeThresholds reproduces the paper's worked example: with
+// break-even points of 100 µs (node 1) and 200 µs (node 2), a region
+// measuring ≈150 µs/fault must enable node 1 but not node 2.
+func TestPerNodeThresholds(t *testing.T) {
+	rt := newThreeNodeRuntime(t, Options{
+		FaultPeriodThreshold: 100 * time.Microsecond,
+		NodeThresholds: map[int]time.Duration{
+			1: 100 * time.Microsecond,
+			2: 100 * time.Millisecond, // node 2's link is effectively unprofitable
+		},
+	})
+	const n = 4000
+	var r *cluster.Region
+	err := rt.Run(func(a *App) {
+		r = a.Alloc("data", int64(n)*64)
+		// Moderate communication: enough compute to clear 100 µs but
+		// not 100 ms.
+		a.ParallelFor("r", n, HetProbeSchedule(), func(e cluster.Env, lo, hi int) {
+			e.Load(r, int64(lo)*64, int64(hi-lo)*64)
+			e.Compute(float64(hi-lo)*60_000, 0)
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := rt.Decision("r")
+	if !ok {
+		t.Fatal("no decision")
+	}
+	if !d.CrossNode {
+		t.Fatalf("expected cross-node decision, got %v (period %v)", d, d.FaultPeriod)
+	}
+	if len(d.Nodes) != 2 || d.Nodes[0] != 0 || d.Nodes[1] != 1 {
+		t.Fatalf("enabled nodes = %v, want [0 1] (node 2 excluded by its threshold)", d.Nodes)
+	}
+	if _, hasCSR := d.CSR[2]; hasCSR {
+		t.Error("excluded node 2 received a CSR weight")
+	}
+}
+
+func TestPerNodeThresholdsAllExcluded(t *testing.T) {
+	// When every remote node's threshold is unreachable, HetProbe must
+	// fall back to single-node selection.
+	rt := newThreeNodeRuntime(t, Options{
+		NodeThresholds: map[int]time.Duration{
+			1: time.Hour,
+			2: time.Hour,
+		},
+	})
+	const n = 4000
+	var r *cluster.Region
+	err := rt.Run(func(a *App) {
+		r = a.Alloc("data", int64(n)*64)
+		a.ParallelFor("r", n, HetProbeSchedule(), func(e cluster.Env, lo, hi int) {
+			e.Load(r, int64(lo)*64, int64(hi-lo)*64)
+			e.Compute(float64(hi-lo)*60_000, 0)
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := rt.Decision("r")
+	if !ok {
+		t.Fatal("no decision")
+	}
+	if d.CrossNode {
+		t.Fatalf("cross-node chosen despite unreachable thresholds: %v", d)
+	}
+}
+
+func TestThreeNodeReduction(t *testing.T) {
+	rt := newThreeNodeRuntime(t, Options{})
+	const n = 9999
+	var got int64
+	err := rt.Run(func(a *App) {
+		out := a.ParallelReduce("sum", n, DynamicSchedule(16),
+			func() any { return int64(0) },
+			func(e cluster.Env, lo, hi int, acc any) any {
+				s := acc.(int64)
+				for i := lo; i < hi; i++ {
+					s += int64(i)
+				}
+				e.Compute(float64(hi-lo)*100, 0)
+				return s
+			},
+			func(x, y any) any { return x.(int64) + y.(int64) },
+		)
+		got = out.(int64)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(n) * (n - 1) / 2; got != want {
+		t.Fatalf("three-node reduction = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,357 @@
+// Package core implements the hetmp runtime — the Go reproduction of
+// libHetMP (Middleware '20). It organizes worker threads into the
+// paper's two-level hierarchy across cache-incoherent nodes, extends
+// the static and dynamic loop schedulers for heterogeneous nodes, and
+// implements the HetProbe scheduler, which measures a probing period
+// and automatically decides whether to work-share across nodes (and
+// with what core speed ratios) or to collapse onto the single best
+// node.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"hetmp/internal/cluster"
+)
+
+// Body is a work-sharing loop body covering iterations [lo, hi).
+type Body func(e cluster.Env, lo, hi int)
+
+// BodyReduce is a loop body that folds iterations into an accumulator.
+type BodyReduce func(e cluster.Env, lo, hi int, acc any) any
+
+// Options tunes the runtime. The zero value selects the paper's
+// defaults.
+type Options struct {
+	// FaultPeriodThreshold is the break-even page-fault period: regions
+	// whose measured period is below it are not profitable across
+	// nodes. Defaults to 100 µs (the paper's RDMA threshold); derive a
+	// platform-specific value with Calibrate.
+	FaultPeriodThreshold time.Duration
+	// MissThreshold is the LLC misses per kilo-instruction above which
+	// single-node execution prefers the node with the strongest cache
+	// hierarchy. Defaults to 3 (Section 3.2).
+	MissThreshold float64
+	// ProbeFraction is the share of a region's iterations used for the
+	// probing period. Defaults to 0.10.
+	ProbeFraction float64
+	// ProbeMaxInvocations is how many invocations of a region are
+	// probed (with EWMA smoothing) before the cached decision is
+	// reused. Defaults to 10.
+	ProbeMaxInvocations int
+	// EWMAAlpha is the weight of the newest probe measurement. High
+	// values shed the first invocations' DSM-replication and cold-cache
+	// pollution quickly (Section 3.1's motivation for the EWMA).
+	// Defaults to 0.7.
+	EWMAAlpha float64
+	// FlatHierarchy disables the two-level thread hierarchy (ablation:
+	// all threads synchronize and grab work globally).
+	FlatHierarchy bool
+	// RandomProbe makes HetProbe assign probe chunks in a rotated
+	// (non-deterministic across invocations) order — the data-settling
+	// ablation. Never set it in production use.
+	RandomProbe bool
+	// ProbeRegionID, when non-empty, restricts probing to the named
+	// region (the application's longest-running one); every other
+	// HetProbe region adopts its decision. This mirrors the paper's
+	// deployment, where the user passes a compiler-constructed region
+	// identifier via environment variables and only that region is
+	// probed.
+	ProbeRegionID string
+	// AdaptiveMonitor enables the paper's Section 5 future-work
+	// behaviour: keep monitoring DSM faults *after* the probing period.
+	// If a region runs cross-node but its post-decision phase measures
+	// a fault period below the threshold (the probe window
+	// underestimated the communication), the fault statistics are
+	// folded back into the probe cache and the decision is re-derived,
+	// falling back to single-node execution on the next invocation.
+	AdaptiveMonitor bool
+	// NodeThresholds optionally overrides FaultPeriodThreshold per
+	// node, implementing the paper's Section 5 extension to three or
+	// more nodes: "this break-even point is different for every node
+	// and decisions about which nodes to use can be made independently
+	// from one another". A node is enabled for cross-node execution
+	// when the measured fault period is at or above its threshold;
+	// nodes without an entry use FaultPeriodThreshold. The origin node
+	// is always enabled.
+	NodeThresholds map[int]time.Duration
+	// Logf, when non-nil, receives runtime decision traces.
+	Logf func(format string, args ...any)
+}
+
+// DefaultOptions returns the paper's default tuning.
+func DefaultOptions() Options { return Options{}.withDefaults() }
+
+func (o Options) withDefaults() Options {
+	if o.FaultPeriodThreshold == 0 {
+		o.FaultPeriodThreshold = 100 * time.Microsecond
+	}
+	if o.MissThreshold == 0 {
+		o.MissThreshold = 3
+	}
+	if o.ProbeFraction == 0 {
+		o.ProbeFraction = 0.10
+	}
+	if o.ProbeMaxInvocations == 0 {
+		o.ProbeMaxInvocations = 10
+	}
+	if o.EWMAAlpha == 0 {
+		o.EWMAAlpha = 0.7
+	}
+	return o
+}
+
+// Runtime is the hetmp runtime bound to one cluster. Create one per
+// application run with New.
+type Runtime struct {
+	cl    cluster.Cluster
+	opts  Options
+	cache *probeCache
+	teams map[string]*team
+}
+
+// New builds a runtime on the given cluster.
+func New(cl cluster.Cluster, opts Options) *Runtime {
+	return &Runtime{
+		cl:    cl,
+		opts:  opts.withDefaults(),
+		cache: newProbeCache(),
+		teams: make(map[string]*team),
+	}
+}
+
+// Options returns the effective options.
+func (rt *Runtime) Options() Options { return rt.opts }
+
+// Cluster returns the underlying cluster.
+func (rt *Runtime) Cluster() cluster.Cluster { return rt.cl }
+
+// Decision returns HetProbe's cached decision for a region, if any.
+func (rt *Runtime) Decision(regionID string) (Decision, bool) {
+	ent, ok := rt.cache.get(regionID)
+	if !ok || ent.invocations == 0 {
+		return Decision{}, false
+	}
+	return ent.decision, true
+}
+
+// Decisions returns HetProbe's cached decisions for every probed
+// region.
+func (rt *Runtime) Decisions() map[string]Decision {
+	out := make(map[string]Decision, len(rt.cache.entries))
+	for id, ent := range rt.cache.entries {
+		if ent.invocations > 0 {
+			out[id] = ent.decision
+		}
+	}
+	return out
+}
+
+// CSRFromDecision derives static-scheduler weights from a decision's
+// measured per-iteration times (usable even when the decision was
+// single-node — the paper's Ideal CSR configuration does exactly this
+// with HetProbe-measured ratios).
+func CSRFromDecision(d Decision) map[int]float64 {
+	csr := make(map[int]float64, len(d.PerIterTime))
+	var slowest float64
+	for node, t := range d.PerIterTime {
+		if t > 0 {
+			csr[node] = 1 / float64(t)
+			if slowest == 0 || csr[node] < slowest {
+				slowest = csr[node]
+			}
+		}
+	}
+	if slowest > 0 {
+		for node := range csr {
+			csr[node] /= slowest
+		}
+	}
+	return csr
+}
+
+// logf traces a decision if logging is enabled.
+func (rt *Runtime) logf(format string, args ...any) {
+	if rt.opts.Logf != nil {
+		rt.opts.Logf(format, args...)
+	}
+}
+
+// Run executes app as the application's master thread (on the origin
+// node) and tears the runtime's teams down when it returns.
+func (rt *Runtime) Run(app func(*App)) error {
+	return rt.cl.Run(func(env cluster.Env) {
+		a := &App{rt: rt, env: env}
+		defer func() {
+			for _, t := range rt.teams {
+				t.shutdown(env)
+			}
+		}()
+		app(a)
+	})
+}
+
+// App is the application context handed to the function run by
+// Runtime.Run. It is only valid on the master thread.
+type App struct {
+	rt  *Runtime
+	env cluster.Env
+	// inRegion guards against nested parallel regions.
+	inRegion bool
+}
+
+// Env exposes the master thread's environment.
+func (a *App) Env() cluster.Env { return a.env }
+
+// Runtime returns the owning runtime.
+func (a *App) Runtime() *Runtime { return a.rt }
+
+// Serial accounts a serial application phase (file I/O, setup) of ops
+// operations at the origin node's single-thread speed.
+func (a *App) Serial(ops, vec float64) { a.env.ComputeSerial(ops, vec) }
+
+// Alloc creates a shared data region homed at the origin node
+// (first-touch by the serial phase, as in the paper's applications).
+func (a *App) Alloc(name string, size int64) *cluster.Region {
+	return a.rt.cl.Alloc(name, size, a.rt.cl.Origin())
+}
+
+// allNodes returns every node index.
+func (rt *Runtime) allNodes() []int {
+	specs := rt.cl.NodeSpecs()
+	nodes := make([]int, len(specs))
+	for i := range specs {
+		nodes[i] = i
+	}
+	return nodes
+}
+
+// teamFor returns (creating if needed) the persistent team spanning the
+// given node set.
+func (rt *Runtime) teamFor(master cluster.Env, nodes []int) *team {
+	sorted := append([]int(nil), nodes...)
+	sort.Ints(sorted)
+	key := teamKey(sorted)
+	if t, ok := rt.teams[key]; ok {
+		return t
+	}
+	t := newTeam(rt, master, sorted)
+	rt.teams[key] = t
+	return t
+}
+
+// ParallelFor executes a work-sharing loop of n iterations under the
+// given schedule. regionID identifies the region for the probe cache
+// (the paper builds it from file, function and line of the directive).
+func (a *App) ParallelFor(regionID string, n int, sched Schedule, body Body) {
+	a.parallel(regionID, n, sched, body, nil)
+}
+
+// ParallelReduce executes a work-sharing loop whose iterations fold
+// into an accumulator; partial results are combined hierarchically
+// (worker → node leader → master). combine must be associative and
+// init its identity.
+func (a *App) ParallelReduce(regionID string, n int, sched Schedule,
+	init func() any, body BodyReduce, combine func(x, y any) any) any {
+	red := &reduceRun{init: init, combine: combine, body: body}
+	a.parallel(regionID, n, sched, nil, red)
+	return red.out
+}
+
+// parallel dispatches a region under any schedule.
+func (a *App) parallel(regionID string, n int, sched Schedule, body Body, red *reduceRun) {
+	if a.inRegion {
+		panic("core: nested parallel regions are not supported")
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("core: region %q has negative iteration count %d", regionID, n))
+	}
+	a.inRegion = true
+	defer func() { a.inRegion = false }()
+	if n == 0 {
+		if red != nil {
+			red.out = red.init()
+		}
+		return
+	}
+
+	rt := a.rt
+	switch s := sched.(type) {
+	case StaticSpec:
+		t := rt.teamFor(a.env, rt.allNodes())
+		desc := &regionRun{n: n, body: body, reduce: red,
+			sched: newStaticDispatch(t, 0, n, s.CSR)}
+		t.dispatch(a.env, desc)
+	case DynamicSpec:
+		t := rt.teamFor(a.env, rt.allNodes())
+		desc := &regionRun{n: n, body: body, reduce: red,
+			sched: newDynDispatch(rt, t, n, s.Chunk)}
+		t.dispatch(a.env, desc)
+	case HetProbeSpec:
+		a.runHetProbe(regionID, n, s, body, red)
+	default:
+		panic(fmt.Sprintf("core: unknown schedule %T", sched))
+	}
+}
+
+// Decision is HetProbe's verdict for one region.
+type Decision struct {
+	// CrossNode reports whether work-sharing across nodes is
+	// profitable.
+	CrossNode bool
+	// CSR maps node → relative core speed (fastest node = 1.0-scaled
+	// weights) when CrossNode is set.
+	CSR map[int]float64
+	// Node is the chosen node for single-node execution.
+	Node int
+	// Nodes is the enabled node set for cross-node execution (the
+	// origin plus every node whose per-node break-even the measured
+	// fault period clears — Section 5's multi-node extension).
+	Nodes []int
+	// FaultPeriod is the measured page-fault period.
+	FaultPeriod time.Duration
+	// MissesPerKinst is the measured LLC misses per kilo-instruction.
+	MissesPerKinst float64
+	// PerIterTime is the measured per-iteration time per node.
+	PerIterTime map[int]time.Duration
+	// CumTime is the cumulative measured thread-time of the region
+	// across invocations — the "longest-running region" signal the
+	// paper uses to pick the probing region.
+	CumTime time.Duration
+}
+
+// String renders the decision the way the runtime logs it.
+func (d Decision) String() string {
+	period := d.FaultPeriod.String()
+	if d.FaultPeriod == infinitePeriod {
+		period = "∞ (no faults)"
+	}
+	if d.CrossNode {
+		return fmt.Sprintf("cross-node CSR=%v (fault period %v, misses/kinst %.2f)",
+			csrString(d.CSR), period, d.MissesPerKinst)
+	}
+	return fmt.Sprintf("single-node node=%d (fault period %v, misses/kinst %.2f)",
+		d.Node, period, d.MissesPerKinst)
+}
+
+func csrString(csr map[int]float64) string {
+	keys := make([]int, 0, len(csr))
+	for k := range csr {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	s := ""
+	for i, k := range keys {
+		if i > 0 {
+			s += " : "
+		}
+		s += fmt.Sprintf("%.3g", csr[k])
+	}
+	return s
+}
+
+// infinitePeriod stands for "no faults observed".
+const infinitePeriod = time.Duration(math.MaxInt64)

@@ -1,0 +1,288 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"hetmp/internal/cluster"
+	"hetmp/internal/perf"
+)
+
+// workerID identifies one team thread.
+type workerID struct {
+	node  int // node the thread runs on
+	local int // index among the node's threads
+	flat  int // index in the team-wide flattened order
+}
+
+// measurement is what one worker records for a probed region.
+type measurement struct {
+	iters   int
+	elapsed time.Duration
+	delta   perf.Counters
+}
+
+// regionRun describes one dispatched parallel region. The master writes
+// it before releasing the start barrier; workers read it afterwards
+// (the barrier provides the happens-before edge on real backends).
+type regionRun struct {
+	stop    bool
+	n       int
+	body    Body
+	sched   dispatcher
+	measure bool
+	// results holds per-worker measurements when measure is set.
+	results []measurement
+	// reduce, when non-nil, makes workers produce partial values that
+	// are combined up the hierarchy.
+	reduce *reduceRun
+}
+
+// workerState is one worker's per-region scratch.
+type workerState struct {
+	acc   any
+	iters int
+}
+
+// runSpan executes one contiguous span of iterations, routing through
+// the reduction body when one is attached.
+func (r *regionRun) runSpan(e cluster.Env, lo, hi int, ws *workerState) {
+	if hi <= lo {
+		return
+	}
+	ws.iters += hi - lo
+	if r.reduce != nil {
+		ws.acc = r.reduce.body(e, lo, hi, ws.acc)
+		return
+	}
+	r.body(e, lo, hi)
+}
+
+// dispatcher hands a worker its share of a region.
+type dispatcher interface {
+	runWorker(e cluster.Env, w workerID, t *team, r *regionRun, ws *workerState)
+}
+
+// team is a persistent set of worker threads spread across a node set,
+// organized into the paper's two-level hierarchy: per-node groups with
+// elected leaders, plus the master thread (always resident on the
+// origin node — the Popcorn Linux constraint).
+type team struct {
+	rt        *Runtime
+	nodes     []int // participating nodes, ascending
+	perNode   map[int]int
+	total     int // worker count (excluding master)
+	handles   []cluster.Handle
+	desc      *regionRun
+	start     *hierBarrier
+	end       *hierBarrier
+	reduceBuf *reduceBuffers
+}
+
+// key canonicalizes a node set for team caching.
+func teamKey(nodes []int) string {
+	k := ""
+	for _, n := range nodes {
+		k += fmt.Sprintf("%d,", n)
+	}
+	return k
+}
+
+// newTeam spawns worker threads for every core of every node in the
+// set. The master (the caller) is a barrier participant on its own
+// node even when that node contributes no workers.
+func newTeam(rt *Runtime, master cluster.Env, nodes []int) *team {
+	specs := rt.cl.NodeSpecs()
+	t := &team{
+		rt:      rt,
+		nodes:   append([]int(nil), nodes...),
+		perNode: make(map[int]int, len(nodes)),
+	}
+	for _, n := range nodes {
+		t.perNode[n] = specs[n].Cores
+		t.total += specs[n].Cores
+	}
+	masterNode := master.Node()
+	t.start = newHierBarrier(rt, "start", t, masterNode)
+	t.end = newHierBarrier(rt, "end", t, masterNode)
+	t.reduceBuf = newReduceBuffers(rt, t)
+
+	flat := 0
+	for _, n := range t.nodes {
+		for i := 0; i < t.perNode[n]; i++ {
+			w := workerID{node: n, local: i, flat: flat}
+			flat++
+			h := master.Spawn(n, fmt.Sprintf("w%d.%d", n, i), func(e cluster.Env) {
+				t.workerLoop(e, w)
+			})
+			t.handles = append(t.handles, h)
+		}
+	}
+	return t
+}
+
+// workerLoop is the body of every team thread: rendezvous, execute the
+// dispatched region, rendezvous again.
+func (t *team) workerLoop(e cluster.Env, w workerID) {
+	for {
+		t.start.wait(e, nil)
+		desc := t.desc
+		if desc.stop {
+			return
+		}
+		ws := &workerState{}
+		if desc.reduce != nil {
+			ws.acc = desc.reduce.init()
+		}
+		if desc.measure {
+			before := e.Counters()
+			t0 := e.Now()
+			desc.sched.runWorker(e, w, t, desc, ws)
+			desc.results[w.flat] = measurement{
+				iters:   ws.iters,
+				elapsed: e.Now() - t0,
+				delta:   e.Counters().Sub(before),
+			}
+		} else {
+			desc.sched.runWorker(e, w, t, desc, ws)
+		}
+		if desc.reduce != nil {
+			t.reduceBuf.storePartial(e, w, ws.acc)
+		}
+		t.end.wait(e, t.leaderHook(desc))
+	}
+}
+
+// leaderHook returns the node-leader reduction callback for a region,
+// or nil when no leader work is needed.
+func (t *team) leaderHook(desc *regionRun) func(cluster.Env) {
+	if desc.reduce == nil || t.rt.opts.FlatHierarchy {
+		return nil
+	}
+	return func(le cluster.Env) {
+		if _, ok := t.reduceBuf.partials[le.Node()]; ok {
+			t.reduceBuf.combineNode(le, le.Node(), desc.reduce)
+		}
+	}
+}
+
+// dispatch runs one region to completion from the master thread.
+func (t *team) dispatch(master cluster.Env, desc *regionRun) {
+	if desc.reduce != nil {
+		t.reduceBuf.clear()
+	}
+	t.desc = desc
+	t.start.wait(master, nil)
+	// Workers execute; master proceeds straight to the end barrier.
+	t.end.wait(master, t.leaderHook(desc))
+	if desc.reduce != nil {
+		if t.rt.opts.FlatHierarchy {
+			desc.reduce.out = t.reduceBuf.combineFlat(master, desc.reduce)
+		} else {
+			desc.reduce.out = t.reduceBuf.combineGlobal(master, desc.reduce)
+		}
+	}
+}
+
+// shutdown terminates the worker threads and joins them.
+func (t *team) shutdown(master cluster.Env) {
+	t.desc = &regionRun{stop: true}
+	t.start.wait(master, nil)
+	for _, h := range t.handles {
+		h.Join(master)
+	}
+	t.handles = nil
+}
+
+// hierBarrier is the paper's two-level barrier: threads synchronize on
+// a per-node barrier; the last arrival on each node becomes the node
+// leader and represents the node at the global level, touching the
+// DSM-backed arrival word. Non-leader threads never touch global state
+// (Figure 3). With Options.FlatHierarchy set, every thread goes global
+// — the ablation configuration.
+type hierBarrier struct {
+	flat bool
+	// arrive and release are the per-node rendezvous (nil for nodes
+	// with a single participant).
+	arrive  map[int]cluster.Barrier
+	release map[int]cluster.Barrier
+	// global synchronizes the node leaders (plus master).
+	global cluster.Barrier
+	// word is the DSM-resident arrival counter leaders update; its
+	// traffic is the cross-node synchronization cost.
+	word cluster.Cell
+	// flatAll is used instead when the hierarchy is disabled.
+	flatAll cluster.Barrier
+}
+
+// newHierBarrier sizes the barrier for team t plus the master on
+// masterNode.
+func newHierBarrier(rt *Runtime, name string, t *team, masterNode int) *hierBarrier {
+	b := &hierBarrier{
+		flat: rt.opts.FlatHierarchy,
+		word: rt.cl.NewCell(fmt.Sprintf("bar:%s:%s", name, teamKey(t.nodes)), rt.cl.Origin()),
+	}
+	parties := make(map[int]int, len(t.nodes)+1)
+	for n, c := range t.perNode {
+		parties[n] = c
+	}
+	parties[masterNode]++ // the master takes part on its own node
+
+	if b.flat {
+		total := 0
+		for _, c := range parties {
+			total += c
+		}
+		b.flatAll = rt.cl.NewBarrier(total)
+		return b
+	}
+
+	b.arrive = make(map[int]cluster.Barrier, len(parties))
+	b.release = make(map[int]cluster.Barrier, len(parties))
+	leaders := 0
+	for n, c := range parties {
+		leaders++
+		if c > 1 {
+			b.arrive[n] = rt.cl.NewBarrier(c)
+			b.release[n] = rt.cl.NewBarrier(c)
+		}
+	}
+	b.global = rt.cl.NewBarrier(leaders)
+	return b
+}
+
+// wait blocks until every participant arrives. The last thread to
+// arrive on each node is elected leader and runs onLeader (if non-nil)
+// before the global rendezvous — this is where hierarchical reductions
+// fold each node's partials. It reports whether the caller acted as a
+// node leader.
+func (b *hierBarrier) wait(e cluster.Env, onLeader func(cluster.Env)) bool {
+	if b.flat {
+		// Ablation: every thread touches the global word and meets in
+		// one global rendezvous.
+		b.word.Add(e, 1)
+		b.flatAll.Wait(e)
+		return false
+	}
+	node := e.Node()
+	if local := b.arrive[node]; local != nil {
+		if !local.Wait(e) {
+			// Non-leader: wait for the leader to come back from the
+			// global phase. No global data touched.
+			b.release[node].Wait(e)
+			return false
+		}
+	}
+	// Leader (or sole thread on this node): perform leader-only work,
+	// announce the node's arrival on the shared word, then meet the
+	// other leaders.
+	if onLeader != nil {
+		onLeader(e)
+	}
+	b.word.Add(e, 1)
+	b.global.Wait(e)
+	if local := b.release[node]; local != nil {
+		local.Wait(e)
+	}
+	return true
+}

@@ -1,0 +1,346 @@
+// Package dsm implements the page-granularity distributed shared memory
+// the paper's runtime sits on (Popcorn Linux's DSM, Figure 2): a
+// multiple-reader / single-writer coherence protocol that replicates
+// read pages, invalidates copies on writes, and transfers pages across
+// the interconnect on demand. Protocol costs are charged in virtual time
+// through the simtime engine: the faulting thread pays the requester-side
+// software path inline, queues at the owner node's DSM worker pool, and
+// occupies the wire for the page transfer.
+//
+// Runtime metadata (global barriers, work-pool counters) is allocated in
+// DSM regions exactly like application data, so the synchronization
+// traffic the paper's thread hierarchy avoids is costed by the same
+// protocol.
+package dsm
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"hetmp/internal/interconnect"
+	"hetmp/internal/machine"
+	"hetmp/internal/simtime"
+)
+
+// PageSize is the sharing granularity, matching the paper's 4 KB pages.
+const PageSize = 4096
+
+// noWriter marks a page in read-shared (or unmapped) state.
+const noWriter = -1
+
+// pageState tracks one page's coherence state: either one node holds
+// exclusive write access (writer >= 0) or any number of nodes hold
+// read-only copies (copyset bitmask).
+type pageState struct {
+	writer  int8
+	copyset uint16
+}
+
+// NodeStats aggregates DSM activity observed by one node, mirroring the
+// proc file Popcorn Linux exposes and libHetMP polls.
+type NodeStats struct {
+	// ReadFaults and WriteFaults count remote faults taken by threads
+	// on this node.
+	ReadFaults  int64
+	WriteFaults int64
+	// BytesIn is the page payload fetched to this node.
+	BytesIn int64
+	// Invalidations counts copies invalidated at this node on behalf of
+	// remote writers.
+	Invalidations int64
+	// Stall is the total virtual time this node's threads spent blocked
+	// on the protocol.
+	Stall time.Duration
+}
+
+// Faults returns read + write faults.
+func (s NodeStats) Faults() int64 { return s.ReadFaults + s.WriteFaults }
+
+// Space is one coherence domain spanning all nodes of a platform.
+type Space struct {
+	nodes    []machine.NodeSpec
+	proto    interconnect.Spec
+	wire     *simtime.Resource
+	handlers []*simtime.Resource
+	rng      *rand.Rand
+
+	regions  []*Region
+	nextAddr int64
+	stats    []NodeStats
+}
+
+// NewSpace creates a coherence domain for the given nodes and protocol.
+// rng (may be nil) supplies interconnect jitter.
+func NewSpace(nodes []machine.NodeSpec, proto interconnect.Spec, rng *rand.Rand) (*Space, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("dsm: no nodes")
+	}
+	if len(nodes) > 16 {
+		return nil, fmt.Errorf("dsm: copyset bitmask supports at most 16 nodes, got %d", len(nodes))
+	}
+	if err := proto.Validate(); err != nil {
+		return nil, err
+	}
+	handlers := make([]*simtime.Resource, len(nodes))
+	for i := range handlers {
+		handlers[i] = simtime.NewResource(fmt.Sprintf("dsm-worker-%s", nodes[i].Name))
+	}
+	return &Space{
+		nodes:    nodes,
+		proto:    proto,
+		wire:     simtime.NewResource("wire"),
+		handlers: handlers,
+		rng:      rng,
+		stats:    make([]NodeStats, len(nodes)),
+	}, nil
+}
+
+// Protocol returns the interconnect spec in use.
+func (s *Space) Protocol() interconnect.Spec { return s.proto }
+
+// Stats returns a copy of the per-node statistics.
+func (s *Space) Stats() []NodeStats {
+	out := make([]NodeStats, len(s.stats))
+	copy(out, s.stats)
+	return out
+}
+
+// TotalFaults sums remote faults across nodes (the counter libHetMP
+// reads from the proc file).
+func (s *Space) TotalFaults() int64 {
+	var total int64
+	for _, st := range s.stats {
+		total += st.Faults()
+	}
+	return total
+}
+
+// Region is a contiguous range of pages with a home node. Pages start
+// exclusively owned by the home node, modelling the serial first-touch
+// initialization on the paper's source node.
+type Region struct {
+	space *Space
+	name  string
+	home  int
+	base  int64 // global byte address of the first page
+	size  int64 // requested size in bytes
+	pages []pageState
+}
+
+// Alloc creates a region of at least size bytes homed at node home.
+func (s *Space) Alloc(name string, size int64, home int) (*Region, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("dsm: region %q has size %d", name, size)
+	}
+	if home < 0 || home >= len(s.nodes) {
+		return nil, fmt.Errorf("dsm: region %q home %d out of range", name, home)
+	}
+	numPages := (size + PageSize - 1) / PageSize
+	pages := make([]pageState, numPages)
+	for i := range pages {
+		pages[i] = pageState{writer: int8(home), copyset: 1 << home}
+	}
+	r := &Region{
+		space: s,
+		name:  name,
+		home:  home,
+		base:  s.nextAddr,
+		size:  size,
+		pages: pages,
+	}
+	s.nextAddr += numPages * PageSize
+	s.regions = append(s.regions, r)
+	return r, nil
+}
+
+// Name returns the region's debug name.
+func (r *Region) Name() string { return r.name }
+
+// Size returns the requested size in bytes.
+func (r *Region) Size() int64 { return r.size }
+
+// Pages returns the number of pages backing the region.
+func (r *Region) Pages() int { return len(r.pages) }
+
+// BaseAddr returns the region's global byte address (used by the cache
+// model to place regions in distinct address ranges).
+func (r *Region) BaseAddr() int64 { return r.base }
+
+// Home returns the region's home node.
+func (r *Region) Home() int { return r.home }
+
+// AccessResult reports the protocol activity caused by one access.
+type AccessResult struct {
+	Faults int64
+	Stall  time.Duration
+}
+
+// Access performs a read (write=false) or write (write=true) of
+// [offset, offset+length) by a thread of node running as proc p. It
+// advances p through any protocol costs and returns the fault count and
+// stall time incurred. Out-of-range accesses panic: they indicate a
+// kernel declaration bug.
+func (r *Region) Access(p *simtime.Proc, node int, offset, length int64, write bool) AccessResult {
+	if length <= 0 {
+		return AccessResult{}
+	}
+	if offset < 0 || offset+length > int64(len(r.pages))*PageSize {
+		panic(fmt.Sprintf("dsm: access [%d,%d) out of range of region %q (%d bytes)",
+			offset, offset+length, r.name, int64(len(r.pages))*PageSize))
+	}
+	first := offset / PageSize
+	last := (offset + length - 1) / PageSize
+	var res AccessResult
+	for pg := first; pg <= last; pg++ {
+		res = res.add(r.accessPage(p, node, pg, write))
+	}
+	return res
+}
+
+// AccessPage performs a single-page access identified by page index.
+func (r *Region) AccessPage(p *simtime.Proc, node int, page int64, write bool) AccessResult {
+	if page < 0 || page >= int64(len(r.pages)) {
+		panic(fmt.Sprintf("dsm: page %d out of range of region %q", page, r.name))
+	}
+	return r.accessPage(p, node, page, write)
+}
+
+func (a AccessResult) add(b AccessResult) AccessResult {
+	return AccessResult{Faults: a.Faults + b.Faults, Stall: a.Stall + b.Stall}
+}
+
+// accessPage runs the MRSW protocol for one page.
+func (r *Region) accessPage(p *simtime.Proc, node int, pg int64, write bool) AccessResult {
+	s := r.space
+	st := &r.pages[pg]
+	bit := uint16(1) << node
+
+	if write {
+		if st.writer == int8(node) {
+			return AccessResult{}
+		}
+	} else {
+		if st.writer == int8(node) || st.copyset&bit != 0 {
+			return AccessResult{}
+		}
+	}
+
+	// Remote fault. Find the node to source the page from: the writer
+	// if one exists, otherwise any copy holder (lowest index), falling
+	// back to the home node.
+	owner := r.sourceNode(st)
+	start := p.Now()
+
+	// Transfer the page data unless the requester already holds a valid
+	// read copy (a write upgrade revokes other copies but moves no
+	// data).
+	needsData := st.copyset&bit == 0
+	if needsData {
+		cost := s.proto.PageFault(s.nodes[node], s.nodes[owner], PageSize, s.rng)
+		// Requester-side software path, paid inline.
+		p.Advance(cost.Inline)
+		// Owner's DSM worker pool services the request (queues under load).
+		s.handlers[owner].Use(p, s.proto.EffectiveOwnerService(cost.Owner))
+		// The wire carries the page.
+		s.wire.Use(p, cost.Wire)
+		s.stats[node].BytesIn += PageSize
+	}
+
+	if write {
+		// Invalidate every other copy. The transfer source's copy is
+		// revoked by the transfer request itself; the remaining holders
+		// get explicit invalidation messages.
+		for other := range s.nodes {
+			if other == node {
+				continue
+			}
+			otherBit := uint16(1) << other
+			if st.copyset&otherBit == 0 && st.writer != int8(other) {
+				continue
+			}
+			if needsData && other == owner {
+				s.stats[other].Invalidations++
+				continue
+			}
+			inv := s.proto.ControlMessage(s.nodes[node], s.nodes[other])
+			p.Advance(inv.Inline)
+			s.handlers[other].Use(p, s.proto.EffectiveOwnerService(inv.Owner))
+			s.stats[other].Invalidations++
+		}
+		st.writer = int8(node)
+		st.copyset = bit
+		s.stats[node].WriteFaults++
+	} else {
+		// Downgrade a writer to a reader and replicate.
+		if st.writer != noWriter {
+			st.copyset |= uint16(1) << st.writer
+			st.writer = noWriter
+		}
+		st.copyset |= bit
+		s.stats[node].ReadFaults++
+	}
+
+	stall := p.Now() - start
+	s.stats[node].Stall += stall
+	return AccessResult{Faults: 1, Stall: stall}
+}
+
+// sourceNode picks the node currently holding a valid copy.
+func (r *Region) sourceNode(st *pageState) int {
+	if st.writer != noWriter {
+		return int(st.writer)
+	}
+	for n := 0; n < len(r.space.nodes); n++ {
+		if st.copyset&(1<<n) != 0 {
+			return n
+		}
+	}
+	return r.home
+}
+
+// PageOwner reports the coherence state of page pg for tests and
+// diagnostics: the exclusive writer (or -1) and the copyset bitmask.
+func (r *Region) PageOwner(pg int64) (writer int, copyset uint16) {
+	st := r.pages[pg]
+	return int(st.writer), st.copyset
+}
+
+// SettleAt moves every page of the region to exclusive ownership by
+// node without charging protocol costs. It models explicit first-touch
+// re-initialization (the microbenchmark's control loop does this on the
+// source node between trials).
+func (r *Region) SettleAt(node int) {
+	for i := range r.pages {
+		r.pages[i] = pageState{writer: int8(node), copyset: 1 << node}
+	}
+}
+
+// CheckInvariants verifies protocol invariants for every page of every
+// region in the space. It returns an error describing the first
+// violation found. Used by tests (including property-based tests).
+func (s *Space) CheckInvariants() error {
+	for _, r := range s.regions {
+		for i, st := range r.pages {
+			if st.writer != noWriter {
+				// Exclusive: copyset must be exactly the writer.
+				if st.copyset != 1<<uint16(st.writer) {
+					return fmt.Errorf("dsm: region %q page %d: writer %d but copyset %016b",
+						r.name, i, st.writer, st.copyset)
+				}
+				if int(st.writer) >= len(s.nodes) {
+					return fmt.Errorf("dsm: region %q page %d: writer %d out of range", r.name, i, st.writer)
+				}
+			} else {
+				// Shared: at least one copy must exist.
+				if st.copyset == 0 {
+					return fmt.Errorf("dsm: region %q page %d: unmapped (no writer, empty copyset)", r.name, i)
+				}
+				if st.copyset >= 1<<uint16(len(s.nodes)) {
+					return fmt.Errorf("dsm: region %q page %d: copyset %016b mentions unknown node", r.name, i, st.copyset)
+				}
+			}
+		}
+	}
+	return nil
+}

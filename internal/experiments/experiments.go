@@ -1,0 +1,294 @@
+// Package experiments reproduces the paper's evaluation: every figure
+// and table in Section 5 has a runner here, shared by cmd/hetbench and
+// the repository's bench_test.go. Results are "shape-accurate": the
+// substrate is a calibrated simulator, so relative orderings, ratios
+// and crossovers are meaningful while absolute times are model time
+// (see EXPERIMENTS.md).
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"hetmp/internal/cluster"
+	"hetmp/internal/core"
+	"hetmp/internal/interconnect"
+	"hetmp/internal/kernels"
+	"hetmp/internal/machine"
+)
+
+// Config names, matching the paper's work-distribution configurations.
+const (
+	CfgXeon          = "Xeon"
+	CfgThunderX      = "ThunderX"
+	CfgIdealCSR      = "Ideal CSR"
+	CfgCrossDyn      = "Cross-Node Dynamic"
+	CfgHetProbe      = "HetProbe"
+	CfgHetProbeForce = "HetProbe (force Xeon)"
+)
+
+// Configs is the paper's configuration order (Figure 6).
+var Configs = []string{CfgXeon, CfgThunderX, CfgIdealCSR, CfgCrossDyn, CfgHetProbe}
+
+// Suite parameterizes a whole evaluation run.
+type Suite struct {
+	// Scale multiplies benchmark problem sizes (1 = default scale
+	// model).
+	Scale float64
+	// CacheScale shrinks node caches to match the scale model.
+	CacheScale float64
+	// XeonCores / TXCores size the nodes (16/96 = the paper's Table 1).
+	XeonCores, TXCores int
+	// TimeScale shrinks interconnect latencies and migration costs to
+	// match the scale-model problem sizes (DESIGN.md §5).
+	TimeScale float64
+	// Seed drives simulation determinism.
+	Seed int64
+	// Verify runs each kernel's numerical check after each run.
+	Verify bool
+
+	thresholds map[string]time.Duration
+	csrCache   map[string]map[int]float64
+	decCache   map[string]map[string]core.Decision
+}
+
+// Default returns the full-size suite (the paper's platform).
+func Default() *Suite {
+	return &Suite{
+		Scale:      1,
+		CacheScale: 1.0 / 8,
+		TimeScale:  0.1,
+		XeonCores:  16,
+		TXCores:    96,
+		Seed:       1,
+		Verify:     true,
+	}
+}
+
+// Quick returns a reduced suite for fast runs (unit tests, -quick).
+// Cache capacities shrink with the problem scale so footprint/capacity
+// ratios — the miss-rate signatures — are preserved.
+func Quick() *Suite {
+	s := Default()
+	s.Scale = 0.2
+	s.CacheScale = s.Scale / 8
+	s.TimeScale = 0.05
+	s.XeonCores = 8
+	s.TXCores = 48
+	return s
+}
+
+// platform builds the node set for a configuration: "both", "xeon" or
+// "tx".
+func (s *Suite) platform(which string) machine.Platform {
+	xeon := machine.XeonE5_2620v4().ScaleCaches(s.CacheScale)
+	xeon.Cores = s.XeonCores
+	tx := machine.ThunderX().ScaleCaches(s.CacheScale)
+	tx.Cores = s.TXCores
+	switch which {
+	case "xeon":
+		return machine.Platform{Nodes: []machine.NodeSpec{xeon}}
+	case "tx":
+		return machine.Platform{Nodes: []machine.NodeSpec{tx}}
+	default:
+		return machine.Platform{Nodes: []machine.NodeSpec{xeon, tx}, Origin: 0}
+	}
+}
+
+// Threshold returns (calibrating and caching on first use) the
+// cross-node profitability threshold for a protocol, derived with the
+// Section 3.2 microbenchmark exactly as the paper prescribes.
+func (s *Suite) Threshold(proto interconnect.Spec) (time.Duration, error) {
+	if s.thresholds == nil {
+		s.thresholds = make(map[string]time.Duration)
+	}
+	if th, ok := s.thresholds[proto.Name]; ok {
+		return th, nil
+	}
+	proto = proto.Scaled(s.TimeScale)
+	intensities := []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384, 65536}
+	points, err := core.Calibrate(func() (cluster.Cluster, error) {
+		return cluster.NewSim(cluster.SimConfig{
+			Platform: s.platform("both"),
+			Protocol: proto,
+			Seed:     s.Seed,
+		})
+	}, intensities, 8)
+	if err != nil {
+		return 0, err
+	}
+	// Break-even at 25%% of plateau throughput: the remote node's
+	// many cores still contribute more than their interference costs
+	// at a quarter efficiency (the paper's 100 µs RDMA threshold sits
+	// at the same knee of its Figure 4b curve).
+	th := core.DeriveThreshold(points, 0.25)
+	s.thresholds[proto.Name] = th
+	return th, nil
+}
+
+// Result is one benchmark execution under one configuration.
+type Result struct {
+	Benchmark string
+	Config    string
+	Time      time.Duration
+	Faults    int64
+	Decisions map[string]core.Decision
+}
+
+// dynChunks holds the per-benchmark chunk sizes for the Cross-Node
+// Dynamic configuration ("experimentally determined; most benchmarks
+// performed better with smaller sizes").
+var dynChunks = map[string]int{
+	"blackscholes": 16, "BT-C": 4, "cfd": 8, "CG-C": 16, "EP-C": 2,
+	"kmeans": 8, "lavaMD": 1, "lud": 2, "SP-C": 4, "streamcluster": 16,
+}
+
+// Run executes one benchmark under one configuration and returns its
+// total execution time (serial + parallel phases, like Table 3 and
+// Figure 6).
+func (s *Suite) Run(bench, config string, proto interconnect.Spec) (Result, error) {
+	th, err := s.Threshold(proto)
+	if err != nil {
+		return Result{}, err
+	}
+
+	var (
+		which string
+		sched core.Schedule
+	)
+	switch config {
+	case CfgXeon:
+		which, sched = "xeon", core.StaticSchedule()
+	case CfgThunderX:
+		which, sched = "tx", core.StaticSchedule()
+	case CfgIdealCSR:
+		csr, err := s.csrFor(bench, proto)
+		if err != nil {
+			return Result{}, err
+		}
+		which, sched = "both", core.StaticCSR(csr)
+	case CfgCrossDyn:
+		which, sched = "both", core.DynamicSchedule(dynChunks[bench])
+	case CfgHetProbe:
+		which, sched = "both", core.HetProbeSchedule()
+	case CfgHetProbeForce:
+		spec := core.HetProbeSchedule()
+		spec.ForceNode = 0
+		which, sched = "both", spec
+	default:
+		return Result{}, fmt.Errorf("experiments: unknown config %q", config)
+	}
+
+	k, err := kernels.New(bench, s.Scale)
+	if err != nil {
+		return Result{}, err
+	}
+	cl, err := cluster.NewSim(cluster.SimConfig{
+		Platform:      s.platform(which),
+		Protocol:      proto.Scaled(s.TimeScale),
+		Seed:          s.Seed,
+		MigrationCost: time.Duration(200 * float64(time.Microsecond) * s.TimeScale),
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	rt := core.New(cl, core.Options{
+		FaultPeriodThreshold: th,
+		ProbeRegionID:        k.ProbeRegion(),
+	})
+	if err := rt.Run(func(a *core.App) { k.Run(a, kernels.Fixed(sched)) }); err != nil {
+		return Result{}, fmt.Errorf("%s/%s: %w", bench, config, err)
+	}
+	if s.Verify {
+		if err := k.Verify(); err != nil {
+			return Result{}, fmt.Errorf("%s/%s: %w", bench, config, err)
+		}
+	}
+	return Result{
+		Benchmark: bench,
+		Config:    config,
+		Time:      cl.Elapsed(),
+		Faults:    cl.DSMFaults(),
+		Decisions: rt.Decisions(),
+	}, nil
+}
+
+// hetProbeDecisions runs the benchmark once under HetProbe and caches
+// its per-region decisions (used for Ideal CSR weights, Figure 7 fault
+// periods and Figure 8 counter data).
+func (s *Suite) hetProbeDecisions(bench string, proto interconnect.Spec) (map[string]core.Decision, error) {
+	if s.decCache == nil {
+		s.decCache = make(map[string]map[string]core.Decision)
+	}
+	key := bench + "/" + proto.Name
+	if d, ok := s.decCache[key]; ok {
+		return d, nil
+	}
+	res, err := s.Run(bench, CfgHetProbe, proto)
+	if err != nil {
+		return nil, err
+	}
+	s.decCache[key] = res.Decisions
+	return res.Decisions, nil
+}
+
+// mainDecision picks the benchmark's dominant region decision — the
+// longest-running work-sharing region, exactly the region the paper
+// selects for probing (ties broken by name for determinism).
+func mainDecision(decs map[string]core.Decision) (string, core.Decision, bool) {
+	ids := make([]string, 0, len(decs))
+	for id := range decs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	best := ""
+	for _, id := range ids {
+		if best == "" || decs[id].CumTime > decs[best].CumTime {
+			best = id
+		}
+	}
+	if best == "" {
+		return "", core.Decision{}, false
+	}
+	return best, decs[best], true
+}
+
+// csrFor returns the HetProbe-measured CSR weights for a benchmark
+// (Table 2's procedure).
+func (s *Suite) csrFor(bench string, proto interconnect.Spec) (map[int]float64, error) {
+	if s.csrCache == nil {
+		s.csrCache = make(map[string]map[int]float64)
+	}
+	key := bench + "/" + proto.Name
+	if csr, ok := s.csrCache[key]; ok {
+		return csr, nil
+	}
+	decs, err := s.hetProbeDecisions(bench, proto)
+	if err != nil {
+		return nil, err
+	}
+	_, d, ok := mainDecision(decs)
+	csr := map[int]float64{}
+	if ok {
+		csr = core.CSRFromDecision(d)
+	}
+	s.csrCache[key] = csr
+	return csr, nil
+}
+
+// geomean returns the geometric mean of positive values.
+func geomean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var logs float64
+	for _, v := range vals {
+		if v <= 0 {
+			return 0
+		}
+		logs += math.Log(v)
+	}
+	return math.Exp(logs / float64(len(vals)))
+}

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+// table is a tiny helper building aligned text tables.
+type table struct {
+	sb strings.Builder
+	tw *tabwriter.Writer
+}
+
+func newTable(title string) *table {
+	t := &table{}
+	t.sb.WriteString(title + "\n")
+	t.tw = tabwriter.NewWriter(&t.sb, 2, 4, 2, ' ', 0)
+	return t
+}
+
+func (t *table) row(cells ...string) {
+	fmt.Fprintln(t.tw, strings.Join(cells, "\t"))
+}
+
+func (t *table) String() string {
+	t.tw.Flush()
+	return t.sb.String()
+}
+
+// RenderFigure1 prints the motivating-example table.
+func RenderFigure1(rows []Fig1Row) string {
+	t := newTable("Figure 1 — motivating example: execution time by placement")
+	t.row("benchmark", "Xeon", "ThunderX", "libHetMP", "best")
+	for _, r := range rows {
+		best := "libHetMP"
+		if r.Xeon <= r.ThunderX && r.Xeon <= r.HetMP {
+			best = "Xeon"
+		} else if r.ThunderX <= r.Xeon && r.ThunderX <= r.HetMP {
+			best = "ThunderX"
+		}
+		t.row(r.Benchmark, FormatDuration(r.Xeon), FormatDuration(r.ThunderX), FormatDuration(r.HetMP), best)
+	}
+	return t.String()
+}
+
+// RenderFigure4 prints the microbenchmark curves.
+func RenderFigure4(points []Fig4Point) string {
+	t := newTable("Figure 4 — DSM microbenchmark: throughput (4a) and fault period (4b) vs ops/byte")
+	t.row("ops/byte", "RDMA Mop/s", "TCP/IP Mop/s", "RDMA µs/fault", "TCP/IP µs/fault")
+	for _, p := range points {
+		t.row(
+			fmt.Sprintf("%.0f", p.OpsPerByte),
+			fmt.Sprintf("%.1f", p.RDMA.Throughput/1e6),
+			fmt.Sprintf("%.1f", p.TCPIP.Throughput/1e6),
+			fmt.Sprintf("%.1f", float64(p.RDMA.FaultPeriod)/1e3),
+			fmt.Sprintf("%.1f", float64(p.TCPIP.FaultPeriod)/1e3),
+		)
+	}
+	return t.String()
+}
+
+// RenderTable2 prints the measured core speed ratios.
+func RenderTable2(rows []Table2Row) string {
+	paper := map[string]float64{"blackscholes": 3, "EP-C": 2.5, "kmeans": 1, "lavaMD": 3.666}
+	t := newTable("Table 2 — core speed ratios measured by HetProbe (Xeon : ThunderX)")
+	t.row("benchmark", "measured", "paper")
+	for _, r := range rows {
+		t.row(r.Benchmark, fmt.Sprintf("%.2f : 1", r.CSR), fmt.Sprintf("%.3g : 1", paper[r.Benchmark]))
+	}
+	return t.String()
+}
+
+// RenderTable3 prints the Xeon baselines.
+func RenderTable3(rows []Table3Row) string {
+	t := newTable("Table 3 — baseline execution times (Xeon, 16 threads, static)")
+	t.row("benchmark", "model time")
+	for _, r := range rows {
+		t.row(r.Benchmark, FormatDuration(r.Time))
+	}
+	return t.String()
+}
+
+// RenderFigure6 prints the main-results table.
+func RenderFigure6(fig Fig6) string {
+	t := newTable("Figure 6 — speedup vs Xeon for every work-distribution configuration")
+	header := append([]string{"benchmark"}, Configs...)
+	header = append(header, "best")
+	t.row(header...)
+	for _, r := range fig.Rows {
+		cells := []string{r.Benchmark}
+		for _, cfg := range Configs {
+			mark := ""
+			if cfg == r.Best {
+				mark = " *"
+			}
+			cells = append(cells, fmt.Sprintf("%.2fx%s", r.Speedup[cfg], mark))
+		}
+		cells = append(cells, r.Best)
+		t.row(cells...)
+	}
+	cells := []string{"geomean"}
+	for _, cfg := range Configs {
+		cells = append(cells, fmt.Sprintf("%.2fx", fig.Geomean[cfg]))
+	}
+	cells = append(cells, fmt.Sprintf("Oracle %.2fx", fig.Geomean["Oracle"]))
+	t.row(cells...)
+	return t.String()
+}
+
+// RenderFigure7 prints the fault periods against the threshold.
+func RenderFigure7(rows []Fig7Row, threshold time.Duration) string {
+	t := newTable(fmt.Sprintf("Figure 7 — page-fault periods (cross-node threshold %s)", FormatDuration(threshold)))
+	t.row("benchmark", "region", "fault period", "cross-node?")
+	for _, r := range rows {
+		t.row(r.Benchmark, r.Region, FormatDuration(r.FaultPeriod), fmt.Sprintf("%v", r.CrossNode))
+	}
+	return t.String()
+}
+
+// RenderFigure8 prints the cache-miss node selection.
+func RenderFigure8(rows []Fig8Row, threshold float64) string {
+	t := newTable(fmt.Sprintf("Figure 8 — LLC misses per kilo-instruction (node threshold %.1f)", threshold))
+	t.row("benchmark", "misses/kinst", "chosen node")
+	for _, r := range rows {
+		t.row(r.Benchmark, fmt.Sprintf("%.2f", r.MissesPerKinst), r.Node)
+	}
+	return t.String()
+}
+
+// RenderFigure9 prints the TCP/IP case study.
+func RenderFigure9(rows []Fig9Row, threshold time.Duration) string {
+	t := newTable(fmt.Sprintf("Figure 9 — blackscholes over TCP/IP (threshold %s)", FormatDuration(threshold)))
+	t.row("rounds", "homogeneous", "HetProbe", "fault period", "cross-node?")
+	for _, r := range rows {
+		t.row(
+			fmt.Sprintf("%d", r.Rounds),
+			FormatDuration(r.Homogeneous),
+			FormatDuration(r.HetProbe),
+			FormatDuration(r.FaultPeriod),
+			fmt.Sprintf("%v", r.CrossNode),
+		)
+	}
+	return t.String()
+}
+
+// RenderOverheads prints the probing-overhead analysis.
+func RenderOverheads(rows []OverheadRow) string {
+	t := newTable("Probing overhead — HetProbe vs its post-probe equivalent (paper: geomean ≈5.5% / 6.1%)")
+	t.row("benchmark", "baseline", "overhead")
+	vals := make([]float64, 0, len(rows))
+	for _, r := range rows {
+		t.row(r.Benchmark, r.Baseline, fmt.Sprintf("%+.1f%%", r.Overhead*100))
+		vals = append(vals, 1+r.Overhead)
+	}
+	t.row("geomean", "", fmt.Sprintf("%+.1f%%", (geomean(vals)-1)*100))
+	return t.String()
+}
+
+// RenderAblation prints an ablation comparison.
+func RenderAblation(title string, rows []AblationRow) string {
+	t := newTable(title)
+	t.row("variant", "time", "DSM faults")
+	for _, r := range rows {
+		t.row(r.Variant, FormatDuration(r.Time), fmt.Sprintf("%d", r.Faults))
+	}
+	return t.String()
+}

@@ -1,0 +1,84 @@
+// Package kernels implements the ten benchmarks of the paper's
+// evaluation (Section 5) — blackscholes and streamcluster from PARSEC,
+// EP, BT, SP and CG from the SNU NPB suite, and kmeans, lavaMD, lud and
+// cfd from Rodinia — as real Go computations whose memory accesses are
+// declared to the execution environment, so the DSM and cache models
+// observe each benchmark's true sharing and locality structure.
+//
+// Problem sizes are scale models of the paper's inputs (DESIGN.md §5):
+// footprints are shrunk together with the platform's cache capacities,
+// preserving the fault-rate and miss-rate signatures that drive the
+// HetProbe scheduler's decisions.
+package kernels
+
+import (
+	"fmt"
+	"sort"
+
+	"hetmp/internal/core"
+)
+
+// SchedFactory chooses the schedule for each work-sharing region.
+type SchedFactory func(regionID string) core.Schedule
+
+// Fixed returns a factory that uses the same schedule everywhere.
+func Fixed(s core.Schedule) SchedFactory {
+	return func(string) core.Schedule { return s }
+}
+
+// Kernel is one benchmark. Run executes every phase (serial setup,
+// parallel regions) against the App; Verify checks numerical results
+// afterwards.
+type Kernel interface {
+	// Name is the benchmark's name as used in the paper ("blackscholes",
+	// "EP-C", ...).
+	Name() string
+	// ProbeRegion names the benchmark's longest-running work-sharing
+	// region — the one the paper designates for probing.
+	ProbeRegion() string
+	// Run executes the benchmark.
+	Run(a *core.App, sched SchedFactory)
+	// Verify returns an error if the computed results are wrong.
+	Verify() error
+}
+
+// Builder constructs a kernel at a given scale (1.0 = the default
+// scale-model size; larger values grow the problem).
+type Builder func(scale float64) Kernel
+
+var registry = map[string]Builder{}
+
+func register(name string, b Builder) {
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("kernels: duplicate registration of %q", name))
+	}
+	registry[name] = b
+}
+
+// New builds the named kernel.
+func New(name string, scale float64) (Kernel, error) {
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("kernels: unknown benchmark %q (have %v)", name, Names())
+	}
+	if scale <= 0 {
+		scale = 1
+	}
+	return b(scale), nil
+}
+
+// Names lists the registered benchmarks in the paper's order.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PaperOrder is the benchmark order used in the paper's figures.
+var PaperOrder = []string{
+	"blackscholes", "BT-C", "cfd", "CG-C", "EP-C",
+	"kmeans", "lavaMD", "lud", "SP-C", "streamcluster",
+}

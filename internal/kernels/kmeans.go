@@ -1,0 +1,186 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"hetmp/internal/cluster"
+	"hetmp/internal/core"
+)
+
+func init() { register("kmeans", newKmeans) }
+
+// kmeansK is Rodinia's k-means clustering: every algorithm iteration
+// scans all points against the current centers (a work-sharing region
+// with massive inter-thread data reuse — all threads stream the same
+// arrays), then recomputes centers from the hierarchically reduced
+// per-cluster sums. The point array is sized between the two nodes' LLC
+// capacities: it fits the ThunderX's big shared L2 but thrashes the
+// Xeon's smaller L3, which is why the paper measures a 1:1 core speed
+// ratio despite the Xeon's faster cores.
+type kmeansK struct {
+	n, dims, k, iters int
+	points            *F64
+	centers           *F64
+	membership        *I32
+	inertia           float64
+	ran               bool
+}
+
+const (
+	kmVec = 0.5 // float32 scalar-ish Rodinia code
+)
+
+func newKmeans(scale float64) Kernel {
+	return &kmeansK{
+		// 98304 × 16 × 8 B = 12 MB of points, re-scanned every
+		// algorithm iteration by the same threads with heavy
+		// inter-thread reuse of the centers page.
+		n:     scaled(98304, scale, 256),
+		dims:  16,
+		k:     8,
+		iters: 10,
+	}
+}
+
+func (k *kmeansK) Name() string { return "kmeans" }
+
+// ProbeRegion implements Kernel.
+func (k *kmeansK) ProbeRegion() string { return "kmeans:assign" }
+
+// kmAssign is the per-point partial result: cluster sums, sizes and the
+// total within-cluster cost.
+type kmAssign struct {
+	sums  []float64
+	sizes []int64
+	cost  float64
+}
+
+func (k *kmeansK) Run(a *core.App, sched SchedFactory) {
+	// Serial phase: read the input points.
+	a.Serial(float64(k.n*k.dims)*40, 0)
+	k.points = allocF64(a, "km:points", k.n*k.dims)
+	k.centers = allocF64(a, "km:centers", k.k*k.dims)
+	k.membership = allocI32(a, "km:membership", k.n)
+
+	// Synthetic well-separated clusters so convergence is checkable.
+	r := rng(7)
+	for i := 0; i < k.n; i++ {
+		c := i % k.k
+		for d := 0; d < k.dims; d++ {
+			k.points.Data[i*k.dims+d] = float64(c*10) + r.NormFloat64()
+		}
+	}
+	// Initialize centers from the first point of each true cluster.
+	for c := 0; c < k.k; c++ {
+		copy(k.centers.Data[c*k.dims:(c+1)*k.dims], k.points.Data[c*k.dims:(c+1)*k.dims])
+	}
+
+	// ≈5 instructions per (dimension × cluster) pair — subtract,
+	// multiply, accumulate, compare and loop overhead — plus per-point
+	// bookkeeping.
+	flopsPerPoint := float64(5*k.k*k.dims + 16)
+	for it := 0; it < k.iters; it++ {
+		out := a.ParallelReduce("kmeans:assign", k.n, sched("kmeans:assign"),
+			func() any {
+				return kmAssign{sums: make([]float64, k.k*k.dims), sizes: make([]int64, k.k)}
+			},
+			func(e cluster.Env, lo, hi int, acc any) any {
+				res := acc.(kmAssign)
+				pts := k.points.R(e, lo*k.dims, hi*k.dims)
+				centers := k.centers.R(e, 0, k.k*k.dims)
+				member := k.membership.Data[lo:hi]
+				changed := 0
+				for i := 0; i < hi-lo; i++ {
+					p := pts[i*k.dims : (i+1)*k.dims]
+					best, bestD := 0, math.MaxFloat64
+					for c := 0; c < k.k; c++ {
+						ctr := centers[c*k.dims : (c+1)*k.dims]
+						d := 0.0
+						for j := range p {
+							diff := p[j] - ctr[j]
+							d += diff * diff
+						}
+						if d < bestD {
+							best, bestD = c, d
+						}
+					}
+					if member[i] != int32(best) {
+						member[i] = int32(best)
+						changed++
+					}
+					res.sizes[best]++
+					res.cost += bestD
+					for j := range p {
+						res.sums[best*k.dims+j] += p[j]
+					}
+				}
+				if changed > 0 {
+					// Membership writes only happen for reassigned
+					// points; once clustering converges the page stops
+					// being dirtied (and stops churning across nodes).
+					e.Store(k.membership.Reg, int64(lo)*4, int64(hi-lo)*4)
+				}
+				e.Compute(float64(hi-lo)*flopsPerPoint, kmVec)
+				return res
+			},
+			func(x, y any) any {
+				ax, ay := x.(kmAssign), y.(kmAssign)
+				for i := range ax.sums {
+					ax.sums[i] += ay.sums[i]
+				}
+				for i := range ax.sizes {
+					ax.sizes[i] += ay.sizes[i]
+				}
+				ax.cost += ay.cost
+				return ax
+			},
+		)
+		res := out.(kmAssign)
+		k.inertia = res.cost
+		// Serial center update on the master (writes invalidate the
+		// replicated centers page — the per-iteration DSM cost the
+		// paper describes).
+		centers := k.centers.W(a.Env(), 0, k.k*k.dims)
+		for c := 0; c < k.k; c++ {
+			if res.sizes[c] == 0 {
+				continue
+			}
+			for d := 0; d < k.dims; d++ {
+				centers[c*k.dims+d] = res.sums[c*k.dims+d] / float64(res.sizes[c])
+			}
+		}
+		a.Env().Compute(float64(k.k*k.dims)*4, 0)
+	}
+	k.ran = true
+}
+
+func (k *kmeansK) Verify() error {
+	if !k.ran {
+		return fmt.Errorf("kmeans: not run")
+	}
+	// With well-separated synthetic clusters, k-means must recover the
+	// generating partition: every point's member equals its generator
+	// cluster up to a relabeling.
+	relabel := make(map[int32]int32)
+	for i := 0; i < k.n; i++ {
+		truth := int32(i % k.k)
+		got := k.membership.Data[i]
+		if want, ok := relabel[truth]; ok {
+			if got != want {
+				return fmt.Errorf("kmeans: point %d assigned %d, cluster %d maps to %d", i, got, truth, want)
+			}
+		} else {
+			relabel[truth] = got
+		}
+	}
+	if len(relabel) != k.k {
+		return fmt.Errorf("kmeans: recovered %d clusters, want %d", len(relabel), k.k)
+	}
+	// Inertia per point must be ≈ dims (unit-variance noise).
+	perPoint := k.inertia / float64(k.n)
+	if perPoint <= 0 || perPoint > float64(k.dims)*2 {
+		return fmt.Errorf("kmeans: inertia per point %.2f implausible (want ≈%d)", perPoint, k.dims)
+	}
+	return nil
+}

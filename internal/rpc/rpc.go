@@ -1,0 +1,430 @@
+// Package rpc distributes work-sharing loops across real machines over
+// TCP — the substitution path for running the hetmp scheduler on real
+// hardware ("mimic the scheduler over RPC"). Workers register task
+// functions by name; a client pool probes each worker with a fixed
+// chunk of iterations (HetProbe's measurement idea), derives per-worker
+// speed ratios, and distributes the remaining iterations
+// proportionally, exactly as the paper's static-CSR fallback does after
+// probing.
+//
+// Unlike the simulated backend there is no transparent DSM here: tasks
+// must be pure functions of their iteration range (plus a scalar
+// argument), mirroring how offload-style systems ship closed work
+// descriptions. Partial results are combined with the task's associative
+// combiner.
+package rpc
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Task computes a partial result over iterations [lo, hi). arg is an
+// opaque scalar parameter (e.g. a sweep setting). Tasks must be pure:
+// the pool may re-execute ranges on failure.
+type Task func(lo, hi int, arg float64) float64
+
+// registry holds the tasks a worker can execute. Both workers and any
+// in-process fallbacks share it.
+type registry struct {
+	mu    sync.RWMutex
+	tasks map[string]Task
+}
+
+var defaultRegistry = &registry{tasks: make(map[string]Task)}
+
+// Register makes a task available to workers under the given name.
+// Registering the same name twice panics (it indicates an init-order
+// bug).
+func Register(name string, t Task) {
+	defaultRegistry.mu.Lock()
+	defer defaultRegistry.mu.Unlock()
+	if _, dup := defaultRegistry.tasks[name]; dup {
+		panic(fmt.Sprintf("rpc: task %q registered twice", name))
+	}
+	defaultRegistry.tasks[name] = t
+}
+
+func lookup(name string) (Task, bool) {
+	defaultRegistry.mu.RLock()
+	defer defaultRegistry.mu.RUnlock()
+	t, ok := defaultRegistry.tasks[name]
+	return t, ok
+}
+
+// request is one chunk execution order.
+type request struct {
+	ID   uint64
+	Task string
+	Lo   int
+	Hi   int
+	Arg  float64
+	// Close tells the worker to hang up after replying.
+	Close bool
+}
+
+// response is a chunk result.
+type response struct {
+	ID        uint64
+	Partial   float64
+	ElapsedNs int64
+	Err       string
+}
+
+// hello is the worker's greeting.
+type hello struct {
+	Name    string
+	Cores   int
+	Version int
+}
+
+const protocolVersion = 1
+
+// Server is a worker daemon serving task executions.
+type Server struct {
+	// Name identifies the worker in pool statistics.
+	Name string
+	// Cores is the advertised parallelism (informational; execution is
+	// currently one chunk at a time per connection).
+	Cores int
+	// Throttle adds a delay per 1000 iterations, emulating a slower
+	// node (used by examples and tests to stand in for a low-power
+	// ISA).
+	Throttle time.Duration
+
+	ln     net.Listener
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	closed bool
+}
+
+// Serve accepts connections on ln until Close is called. It returns
+// nil after a clean shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				s.wg.Wait()
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops accepting and waits for in-flight connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		return ln.Close()
+	}
+	return nil
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	if err := enc.Encode(hello{Name: s.Name, Cores: s.Cores, Version: protocolVersion}); err != nil {
+		return
+	}
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := s.execute(req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+		if req.Close {
+			return
+		}
+	}
+}
+
+func (s *Server) execute(req request) response {
+	if req.Hi <= req.Lo && !req.Close {
+		return response{ID: req.ID}
+	}
+	if req.Close && req.Task == "" {
+		return response{ID: req.ID}
+	}
+	task, ok := lookup(req.Task)
+	if !ok {
+		return response{ID: req.ID, Err: fmt.Sprintf("unknown task %q", req.Task)}
+	}
+	start := time.Now()
+	partial := task(req.Lo, req.Hi, req.Arg)
+	if s.Throttle > 0 {
+		iters := req.Hi - req.Lo
+		time.Sleep(s.Throttle * time.Duration(iters) / 1000)
+	}
+	return response{ID: req.ID, Partial: partial, ElapsedNs: time.Since(start).Nanoseconds()}
+}
+
+// worker is the pool's view of one connected server.
+type worker struct {
+	name  string
+	cores int
+	conn  net.Conn
+	enc   *gob.Encoder
+	dec   *gob.Decoder
+	next  uint64
+}
+
+// call executes one chunk synchronously.
+func (w *worker) call(task string, lo, hi int, arg float64, closing bool) (response, error) {
+	w.next++
+	req := request{ID: w.next, Task: task, Lo: lo, Hi: hi, Arg: arg, Close: closing}
+	if err := w.enc.Encode(req); err != nil {
+		return response{}, fmt.Errorf("rpc: send to %s: %w", w.name, err)
+	}
+	var resp response
+	if err := w.dec.Decode(&resp); err != nil {
+		return response{}, fmt.Errorf("rpc: receive from %s: %w", w.name, err)
+	}
+	if resp.ID != req.ID {
+		return response{}, fmt.Errorf("rpc: %s answered request %d with id %d", w.name, req.ID, resp.ID)
+	}
+	if resp.Err != "" {
+		return response{}, fmt.Errorf("rpc: %s: %s", w.name, resp.Err)
+	}
+	return resp, nil
+}
+
+// Pool distributes loops over connected workers.
+type Pool struct {
+	workers []*worker
+}
+
+// WorkerStats reports one worker's measured behaviour for a run.
+type WorkerStats struct {
+	Name string
+	// SpeedRatio is the worker's measured speed relative to the
+	// slowest worker (the paper's core speed ratio).
+	SpeedRatio float64
+	// Iterations executed (probe + remaining).
+	Iterations int
+	// Elapsed is total busy time reported by the worker.
+	Elapsed time.Duration
+}
+
+// Dial connects to worker addresses. All must be reachable; Close the
+// pool when done.
+func Dial(addrs ...string) (*Pool, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("rpc: no worker addresses")
+	}
+	p := &Pool{}
+	for _, addr := range addrs {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			p.Close()
+			return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
+		}
+		w := &worker{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+		var h hello
+		if err := w.dec.Decode(&h); err != nil {
+			p.Close()
+			conn.Close()
+			return nil, fmt.Errorf("rpc: handshake with %s: %w", addr, err)
+		}
+		if h.Version != protocolVersion {
+			p.Close()
+			conn.Close()
+			return nil, fmt.Errorf("rpc: %s speaks protocol %d, want %d", addr, h.Version, protocolVersion)
+		}
+		w.name = h.Name
+		w.cores = h.Cores
+		if w.name == "" {
+			w.name = addr
+		}
+		p.workers = append(p.workers, w)
+	}
+	return p, nil
+}
+
+// Close hangs up on every worker.
+func (p *Pool) Close() {
+	for _, w := range p.workers {
+		if w.conn != nil {
+			w.conn.Close()
+		}
+	}
+	p.workers = nil
+}
+
+// Workers returns the connected worker names.
+func (p *Pool) Workers() []string {
+	names := make([]string, len(p.workers))
+	for i, w := range p.workers {
+		names[i] = w.name
+	}
+	return names
+}
+
+// RunOptions tunes a distributed loop.
+type RunOptions struct {
+	// ProbeFraction is the share of iterations used to measure worker
+	// speeds (default 0.1, as in the paper).
+	ProbeFraction float64
+	// Combine merges partial results (default: sum).
+	Combine func(a, b float64) float64
+}
+
+// Run distributes a registered task's n iterations across the pool:
+// probe equal chunks on every worker in parallel, derive speed ratios,
+// split the remainder proportionally, and combine the partials. It
+// returns the combined result and per-worker statistics.
+func (p *Pool) Run(task string, n int, arg float64, opts RunOptions) (float64, []WorkerStats, error) {
+	if len(p.workers) == 0 {
+		return 0, nil, errors.New("rpc: pool has no workers")
+	}
+	if opts.ProbeFraction <= 0 || opts.ProbeFraction >= 1 {
+		opts.ProbeFraction = 0.1
+	}
+	combine := opts.Combine
+	if combine == nil {
+		combine = func(a, b float64) float64 { return a + b }
+	}
+
+	nw := len(p.workers)
+	stats := make([]WorkerStats, nw)
+	for i, w := range p.workers {
+		stats[i].Name = w.name
+	}
+
+	chunk := int(float64(n) * opts.ProbeFraction / float64(nw))
+	type outcome struct {
+		partial float64
+		elapsed time.Duration
+		err     error
+	}
+	results := make([]outcome, nw)
+
+	runParallel := func(spans []span) {
+		var wg sync.WaitGroup
+		for i, sp := range spans {
+			if sp.hi <= sp.lo {
+				results[i] = outcome{}
+				continue
+			}
+			wg.Add(1)
+			go func(i int, sp span) {
+				defer wg.Done()
+				resp, err := p.workers[i].call(task, sp.lo, sp.hi, arg, false)
+				if err != nil {
+					results[i] = outcome{err: err}
+					return
+				}
+				results[i] = outcome{
+					partial: resp.Partial,
+					elapsed: time.Duration(resp.ElapsedNs),
+				}
+			}(i, sp)
+		}
+		wg.Wait()
+	}
+
+	total := 0.0
+	first := true
+	acc := func(v float64) {
+		if first {
+			total, first = v, false
+			return
+		}
+		total = combine(total, v)
+	}
+
+	base := 0
+	speeds := make([]float64, nw)
+	for i := range speeds {
+		speeds[i] = 1
+	}
+	if chunk >= 1 && n >= 2*nw*chunk {
+		// Probing period: a constant chunk per worker, concurrently.
+		spans := make([]span, nw)
+		for i := range spans {
+			spans[i] = span{lo: base, hi: base + chunk}
+			base += chunk
+		}
+		runParallel(spans)
+		for i, r := range results {
+			if r.err != nil {
+				return 0, nil, r.err
+			}
+			acc(r.partial)
+			stats[i].Iterations += chunk
+			stats[i].Elapsed += r.elapsed
+			if r.elapsed > 0 {
+				speeds[i] = 1 / r.elapsed.Seconds()
+			}
+		}
+	}
+
+	// Distribute the remainder proportionally to measured speeds.
+	remaining := n - base
+	if remaining > 0 {
+		var sum float64
+		for _, s := range speeds {
+			sum += s
+		}
+		spans := make([]span, nw)
+		lo := base
+		for i := range spans {
+			share := int(float64(remaining) * speeds[i] / sum)
+			if i == nw-1 {
+				share = n - lo
+			}
+			spans[i] = span{lo: lo, hi: lo + share}
+			lo += share
+		}
+		runParallel(spans)
+		for i, r := range results {
+			if r.err != nil {
+				return 0, nil, r.err
+			}
+			if spans[i].hi > spans[i].lo {
+				acc(r.partial)
+				stats[i].Iterations += spans[i].hi - spans[i].lo
+				stats[i].Elapsed += r.elapsed
+			}
+		}
+	}
+
+	// Normalize speed ratios against the slowest worker.
+	slowest := 0.0
+	for _, s := range speeds {
+		if slowest == 0 || s < slowest {
+			slowest = s
+		}
+	}
+	for i := range stats {
+		if slowest > 0 {
+			stats[i].SpeedRatio = speeds[i] / slowest
+		}
+	}
+	return total, stats, nil
+}
+
+type span struct{ lo, hi int }

@@ -1,0 +1,233 @@
+package rpc
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var registerOnce sync.Once
+
+func registerTestTasks(t *testing.T) {
+	t.Helper()
+	registerOnce.Do(func() {
+		Register("sum-squares", func(lo, hi int, arg float64) float64 {
+			var s float64
+			for i := lo; i < hi; i++ {
+				s += float64(i) * float64(i) * arg
+			}
+			return s
+		})
+		Register("count", func(lo, hi int, arg float64) float64 {
+			return float64(hi - lo)
+		})
+		Register("max-index", func(lo, hi int, arg float64) float64 {
+			return float64(hi - 1)
+		})
+	})
+}
+
+// startWorker spins up a worker server on a loopback port and returns
+// its address.
+func startWorker(t *testing.T, name string, throttle time.Duration) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &Server{Name: name, Cores: 2, Throttle: throttle}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(ln)
+	}()
+	t.Cleanup(func() {
+		srv.Close()
+		<-done
+	})
+	return ln.Addr().String()
+}
+
+func TestPoolRunsRegisteredTask(t *testing.T) {
+	registerTestTasks(t)
+	a := startWorker(t, "alpha", 0)
+	b := startWorker(t, "beta", 0)
+	pool, err := Dial(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	const n = 10000
+	got, stats, err := pool.Run("sum-squares", n, 2.0, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for i := 0; i < n; i++ {
+		want += float64(i) * float64(i) * 2
+	}
+	if math.Abs(got-want) > 1e-6*want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	var iters int
+	for _, s := range stats {
+		iters += s.Iterations
+	}
+	if iters != n {
+		t.Fatalf("workers executed %d iterations, want %d", iters, n)
+	}
+}
+
+func TestPoolMeasuresSpeedRatio(t *testing.T) {
+	registerTestTasks(t)
+	fast := startWorker(t, "fast", 0)
+	slow := startWorker(t, "slow", 3*time.Millisecond) // 3ms per 1000 iterations
+	pool, err := Dial(fast, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	const n = 200000
+	_, stats, err := pool.Run("count", n, 0, RunOptions{ProbeFraction: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]WorkerStats{}
+	for _, s := range stats {
+		byName[s.Name] = s
+	}
+	if byName["fast"].SpeedRatio <= 1.5 {
+		t.Errorf("fast worker speed ratio %.2f, want clearly > 1 vs throttled worker", byName["fast"].SpeedRatio)
+	}
+	if byName["slow"].SpeedRatio != 1 {
+		t.Errorf("slowest worker must be the 1 in the ratio, got %.2f", byName["slow"].SpeedRatio)
+	}
+	if byName["fast"].Iterations <= byName["slow"].Iterations {
+		t.Errorf("fast worker got %d iterations, slow got %d — distribution not skewed",
+			byName["fast"].Iterations, byName["slow"].Iterations)
+	}
+}
+
+func TestPoolCustomCombine(t *testing.T) {
+	registerTestTasks(t)
+	a := startWorker(t, "a", 0)
+	pool, err := Dial(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	got, _, err := pool.Run("max-index", 5000, 0, RunOptions{
+		Combine: math.Max,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4999 {
+		t.Fatalf("max = %v, want 4999", got)
+	}
+}
+
+func TestUnknownTask(t *testing.T) {
+	registerTestTasks(t)
+	a := startWorker(t, "a", 0)
+	pool, err := Dial(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	_, _, err = pool.Run("no-such-task", 1000, 0, RunOptions{})
+	if err == nil || !strings.Contains(err.Error(), "unknown task") {
+		t.Fatalf("err = %v, want unknown task", err)
+	}
+}
+
+func TestDialFailures(t *testing.T) {
+	if _, err := Dial(); err == nil {
+		t.Error("empty address list accepted")
+	}
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+}
+
+func TestWorkerDisconnectSurfaces(t *testing.T) {
+	registerTestTasks(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &Server{Name: "flaky"}
+	go srv.Serve(ln)
+	pool, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	srv.Close()
+	// Give the close a moment to reach the connection.
+	time.Sleep(10 * time.Millisecond)
+	// Existing connections survive a listener close; force the error by
+	// closing the pool-side socket and running.
+	pool.workers[0].conn.Close()
+	if _, _, err := pool.Run("count", 1000, 0, RunOptions{}); err == nil {
+		t.Error("run over closed connection succeeded")
+	}
+}
+
+func TestSmallRunSkipsProbe(t *testing.T) {
+	registerTestTasks(t)
+	a := startWorker(t, "a", 0)
+	b := startWorker(t, "b", 0)
+	pool, err := Dial(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	got, _, err := pool.Run("count", 7, 0, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 7 {
+		t.Fatalf("tiny run counted %v iterations, want 7", got)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	registerTestTasks(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	Register("count", func(lo, hi int, arg float64) float64 { return 0 })
+}
+
+func TestManyWorkersExactCoverage(t *testing.T) {
+	registerTestTasks(t)
+	addrs := make([]string, 5)
+	for i := range addrs {
+		addrs[i] = startWorker(t, fmt.Sprintf("w%d", i), time.Duration(i)*time.Millisecond)
+	}
+	pool, err := Dial(addrs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	const n = 54321
+	got, stats, err := pool.Run("count", n, 0, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != n {
+		t.Fatalf("counted %v, want %d (every iteration exactly once)", got, n)
+	}
+	if len(stats) != 5 {
+		t.Fatalf("stats for %d workers, want 5", len(stats))
+	}
+}

@@ -1,0 +1,65 @@
+package rpc
+
+import (
+	"math"
+	"sync"
+)
+
+var builtinsOnce sync.Once
+
+// RegisterBuiltins registers the demo tasks shared by cmd/hetworker and
+// the rpccluster example. Safe to call multiple times.
+func RegisterBuiltins() {
+	builtinsOnce.Do(func() {
+		// pi: Leibniz series terms — pure compute, the EP of the RPC
+		// world.
+		Register("pi", func(lo, hi int, arg float64) float64 {
+			var s float64
+			for i := lo; i < hi; i++ {
+				term := 4.0 / float64(2*i+1)
+				if i%2 == 1 {
+					term = -term
+				}
+				s += term
+			}
+			return s
+		})
+		// blackscholes: price synthetic options derived from the
+		// iteration index; returns the portfolio value.
+		Register("blackscholes", func(lo, hi int, arg float64) float64 {
+			var sum float64
+			for i := lo; i < hi; i++ {
+				x := float64(i%1000)/1000 + 0.5
+				s, k := 100*x, 100.0
+				v, tm := 0.2+0.3*x/2, 0.5+x
+				r := 0.02
+				sqrtT := math.Sqrt(tm)
+				d1 := (math.Log(s/k) + (r+v*v/2)*tm) / (v * sqrtT)
+				d2 := d1 - v*sqrtT
+				price := s*0.5*math.Erfc(-d1/math.Sqrt2) - k*math.Exp(-r*tm)*0.5*math.Erfc(-d2/math.Sqrt2)
+				sum += price
+			}
+			return sum
+		})
+		// mandelbrot: escape-time iterations along a parameter strip —
+		// irregular per-iteration cost, a load-balancing stress.
+		Register("mandelbrot", func(lo, hi int, arg float64) float64 {
+			maxIter := int(arg)
+			if maxIter <= 0 {
+				maxIter = 256
+			}
+			var total float64
+			for i := lo; i < hi; i++ {
+				cx := -2 + 3*float64(i%4096)/4096
+				cy := -1.2 + 2.4*float64(i/4096%4096)/4096
+				var zx, zy float64
+				n := 0
+				for ; n < maxIter && zx*zx+zy*zy < 4; n++ {
+					zx, zy = zx*zx-zy*zy+cx, 2*zx*zy+cy
+				}
+				total += float64(n)
+			}
+			return total
+		})
+	})
+}
