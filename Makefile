@@ -1,0 +1,27 @@
+# Tier-1 verification plus the race/vet gate that keeps the
+# concurrency fixes (dynSeq, reduce buffers, RPC pool) fixed.
+
+GO ?= go
+
+.PHONY: all tier1 vet race check
+
+all: check
+
+# The repo's tier-1 command: everything must build, all tests pass.
+tier1:
+	$(GO) build ./... && $(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full race-detector sweep. The experiments package is slow under
+# -race (~4 min); use race-fast during development.
+race:
+	$(GO) test -race ./...
+
+# The packages with real goroutine concurrency, raced quickly.
+.PHONY: race-fast
+race-fast:
+	$(GO) test -race ./internal/rpc/... ./internal/core/... ./internal/cluster/... ./internal/apportion/...
+
+check: tier1 vet race

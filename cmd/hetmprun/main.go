@@ -1,12 +1,16 @@
 // Command hetmprun executes one of the paper's benchmarks under a
 // chosen work-distribution configuration on the simulated platform and
 // reports the model execution time, DSM faults and (for HetProbe) the
-// scheduler's decisions.
+// scheduler's decisions. With -rpc it instead drives a registered task
+// across real hetworker daemons over TCP, with the pool's full
+// fault-tolerance machinery (deadlines, retry, redistribution), and
+// reports per-worker statistics including casualties.
 //
 // Usage:
 //
 //	hetmprun -bench kmeans -config HetProbe
 //	hetmprun -bench BT-C -config ThunderX -protocol tcpip -scale 0.5
+//	hetmprun -rpc :7001,:7002 -task blackscholes -n 2000000 -call-timeout 10s
 package main
 
 import (
@@ -14,10 +18,13 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
+	"time"
 
 	"hetmp/internal/experiments"
 	"hetmp/internal/interconnect"
 	"hetmp/internal/kernels"
+	"hetmp/internal/rpc"
 )
 
 func main() {
@@ -28,17 +35,76 @@ func main() {
 		scale    = flag.Float64("scale", 0, "problem scale override")
 		quick    = flag.Bool("quick", false, "reduced platform")
 		list     = flag.Bool("list", false, "list benchmarks and exit")
+
+		rpcAddrs    = flag.String("rpc", "", "comma-separated worker addresses: run -task over real RPC workers instead of the simulator")
+		task        = flag.String("task", "blackscholes", "registered task name for -rpc mode")
+		n           = flag.Int("n", 1_000_000, "iteration count for -rpc mode")
+		arg         = flag.Float64("arg", 0, "scalar task argument for -rpc mode")
+		probe       = flag.Float64("probe", 0.1, "probe fraction for -rpc mode")
+		callTimeout = flag.Duration("call-timeout", rpc.DefaultCallTimeout, "per-chunk RPC deadline (-rpc mode)")
+		retries     = flag.Int("retries", rpc.DefaultMaxRetries, "reconnect retries per failed call before a worker is dropped (-rpc mode)")
+		redial      = flag.Duration("redial", 0, "background re-dial interval for dropped workers, 0 = off (-rpc mode)")
 	)
 	flag.Parse()
 	if *list {
-		for _, n := range kernels.PaperOrder {
-			fmt.Println(n)
+		for _, name := range kernels.PaperOrder {
+			fmt.Println(name)
 		}
 		return
 	}
-	if err := run(*bench, *config, *protocol, *scale, *quick); err != nil {
+	var err error
+	if *rpcAddrs != "" {
+		err = runRPC(*rpcAddrs, *task, *n, *arg, *probe, *callTimeout, *retries, *redial)
+	} else {
+		err = run(*bench, *config, *protocol, *scale, *quick)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "hetmprun:", err)
 		os.Exit(1)
+	}
+}
+
+// runRPC distributes a task over real workers and reports the outcome,
+// degradation included: a run that lost workers still prints its result
+// alongside each casualty's failure.
+func runRPC(addrList, task string, n int, arg, probe float64, callTimeout time.Duration, retries int, redial time.Duration) error {
+	var addrs []string
+	for _, a := range strings.Split(addrList, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	pool, err := rpc.Dial(addrs...)
+	if err != nil {
+		return err
+	}
+	defer pool.Close()
+	pool.RedialInterval = redial
+	fmt.Printf("connected to workers: %v\n", pool.Workers())
+
+	start := time.Now()
+	total, stats, err := pool.Run(task, n, arg, rpc.RunOptions{
+		ProbeFraction: probe,
+		CallTimeout:   callTimeout,
+		MaxRetries:    retries,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s over %d iterations = %v (%.2fs)\n", task, n, total, time.Since(start).Seconds())
+	printWorkerStats(stats)
+	return nil
+}
+
+func printWorkerStats(stats []rpc.WorkerStats) {
+	for _, s := range stats {
+		state := "alive"
+		if !s.Alive {
+			state = "DEAD: " + s.Failure
+		}
+		fmt.Printf("  %-12s ratio %6.2f  iters %8d  busy %-10v retries %d  redistributed %d  %s\n",
+			s.Name, s.SpeedRatio, s.Iterations, s.Elapsed.Round(time.Millisecond),
+			s.Retries, s.Redistributed, state)
 	}
 }
 

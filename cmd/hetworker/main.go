@@ -1,11 +1,18 @@
 // Command hetworker is an RPC worker daemon: it serves the built-in
 // demo tasks (pi, blackscholes, mandelbrot) to hetmp RPC pools. Use
-// -throttle to emulate a slower node (e.g. a low-power ISA).
+// -throttle to emulate a slower node (e.g. a low-power ISA), and the
+// -fault-* flags to inject failures when exercising a pool's fault
+// tolerance against real processes.
 //
 // Usage:
 //
 //	hetworker -listen :7001 -name xeonish
 //	hetworker -listen :7002 -name armish -throttle 4ms
+//	hetworker -listen :7003 -name chaos -fault-drop-after 5
+//	hetworker -listen :7004 -name molasses -fault-stall-after 2 -fault-stall-for 30s
+//
+// SIGINT/SIGTERM shut the worker down gracefully (stop accepting,
+// close connections, wait for in-flight handlers).
 package main
 
 import (
@@ -13,7 +20,9 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"hetmp/internal/rpc"
@@ -24,21 +33,50 @@ func main() {
 		listen   = flag.String("listen", ":7001", "address to listen on")
 		name     = flag.String("name", "", "worker name reported to pools (default: listen address)")
 		throttle = flag.Duration("throttle", 0, "extra delay per 1000 iterations (emulates a slower node)")
+
+		dropAfter    = flag.Int("fault-drop-after", 0, "close the connection instead of serving the Nth request onward (0 = off)")
+		dropCount    = flag.Int("fault-drop-count", 0, "with -fault-drop-after, only drop this many requests (0 = all)")
+		stallAfter   = flag.Int("fault-stall-after", 0, "stall requests from the Nth onward (needs -fault-stall-for)")
+		stallFor     = flag.Duration("fault-stall-for", 0, "how long to stall each faulted request")
+		corruptAfter = flag.Int("fault-corrupt-after", 0, "answer the Nth request onward with a corrupt response id (0 = off)")
 	)
 	flag.Parse()
-	if err := run(*listen, *name, *throttle); err != nil {
+	var fault *rpc.FaultConfig
+	if *dropAfter > 0 || *stallFor > 0 || *corruptAfter > 0 {
+		fault = &rpc.FaultConfig{
+			DropAfter:    *dropAfter,
+			DropCount:    *dropCount,
+			StallAfter:   *stallAfter,
+			StallFor:     *stallFor,
+			CorruptAfter: *corruptAfter,
+		}
+	}
+	if err := run(*listen, *name, *throttle, fault); err != nil {
 		fmt.Fprintln(os.Stderr, "hetworker:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, name string, throttle time.Duration) error {
+func run(listen, name string, throttle time.Duration, fault *rpc.FaultConfig) error {
 	rpc.RegisterBuiltins()
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		return err
 	}
-	srv := &rpc.Server{Name: name, Cores: runtime.GOMAXPROCS(0), Throttle: throttle}
-	fmt.Printf("hetworker %q serving on %s (throttle %v)\n", name, ln.Addr(), throttle)
+	srv := &rpc.Server{Name: name, Cores: runtime.GOMAXPROCS(0), Throttle: throttle, Fault: fault}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		fmt.Printf("hetworker %q: %v, shutting down\n", name, s)
+		srv.Close()
+	}()
+
+	mode := ""
+	if fault != nil {
+		mode = " [fault injection active]"
+	}
+	fmt.Printf("hetworker %q serving on %s (throttle %v)%s\n", name, ln.Addr(), throttle, mode)
 	return srv.Serve(ln)
 }

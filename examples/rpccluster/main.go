@@ -1,8 +1,11 @@
 // RPCCluster: distribute real work over TCP workers with HetProbe-style
-// measurement. Two worker daemons start in-process (one throttled to
-// stand in for a slower ISA); the pool probes both, measures the speed
-// ratio, skews the distribution accordingly and prices a synthetic
-// option portfolio.
+// measurement and fault tolerance. Three worker daemons start
+// in-process: one at full speed, one throttled to stand in for a slower
+// ISA, and one rigged to die mid-run. The pool probes all three,
+// measures speed ratios, skews the distribution accordingly — and when
+// the rigged worker drops its connection, redistributes its unfinished
+// span across the survivors instead of aborting, so the portfolio value
+// still comes out exact.
 package main
 
 import (
@@ -24,21 +27,24 @@ func main() {
 func run() error {
 	rpc.RegisterBuiltins()
 
-	// Spin up two workers on loopback ports: "bignode" at full speed
-	// and "smallnode" throttled 2ms per 1000 iterations.
-	addrs := make([]string, 0, 2)
+	// Spin up three workers on loopback ports. "flaky" serves its probe
+	// chunk, then hangs up on every later request — a stand-in for a
+	// node crashing mid-loop.
+	addrs := make([]string, 0, 3)
 	for _, w := range []struct {
 		name     string
 		throttle time.Duration
+		fault    *rpc.FaultConfig
 	}{
-		{"bignode", 0},
-		{"smallnode", 2 * time.Millisecond},
+		{"bignode", 0, nil},
+		{"smallnode", 2 * time.Millisecond, nil},
+		{"flaky", 0, &rpc.FaultConfig{DropAfter: 2}},
 	} {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			return err
 		}
-		srv := &rpc.Server{Name: w.name, Cores: runtime.GOMAXPROCS(0), Throttle: w.throttle}
+		srv := &rpc.Server{Name: w.name, Cores: runtime.GOMAXPROCS(0), Throttle: w.throttle, Fault: w.fault}
 		go srv.Serve(ln)
 		defer srv.Close()
 		addrs = append(addrs, ln.Addr().String())
@@ -53,14 +59,25 @@ func run() error {
 
 	const n = 2_000_000
 	start := time.Now()
-	total, stats, err := pool.Run("blackscholes", n, 0, rpc.RunOptions{ProbeFraction: 0.1})
+	total, stats, err := pool.Run("blackscholes", n, 0, rpc.RunOptions{
+		ProbeFraction: 0.1,
+		CallTimeout:   30 * time.Second,
+		MaxRetries:    1,
+		RetryBackoff:  20 * time.Millisecond,
+	})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("portfolio value over %d options: %.2f (%.2fs)\n", n, total, time.Since(start).Seconds())
 	for _, s := range stats {
-		fmt.Printf("  %-10s speed ratio %.2f : 1, %7d iterations, busy %v\n",
-			s.Name, s.SpeedRatio, s.Iterations, s.Elapsed.Round(time.Millisecond))
+		state := "alive"
+		if !s.Alive {
+			state = "DEAD (" + s.Failure + ")"
+		}
+		fmt.Printf("  %-10s speed ratio %.2f : 1, %7d iterations, busy %v, retries %d, redistributed %d — %s\n",
+			s.Name, s.SpeedRatio, s.Iterations, s.Elapsed.Round(time.Millisecond),
+			s.Retries, s.Redistributed, state)
 	}
+	fmt.Println("the flaky worker's span was re-executed by the survivors; the total is exact because tasks are pure")
 	return nil
 }

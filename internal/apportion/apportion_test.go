@@ -1,0 +1,75 @@
+package apportion
+
+import "testing"
+
+func sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func TestSplitExact(t *testing.T) {
+	cases := []struct {
+		n       int
+		weights []float64
+	}{
+		{100, []float64{1, 1, 1}},
+		{7, []float64{1, 1}},
+		{54321, []float64{1, 2, 3, 4, 5}},
+		{1, []float64{0.1, 0.1, 0.1}},
+		{10, []float64{1e9, 1}},
+		{3, []float64{0, 1}},
+		{1000000, []float64{3.7, 2.2, 9.9, 0.0001}},
+	}
+	for _, c := range cases {
+		got := Split(c.n, c.weights)
+		if sum(got) != c.n {
+			t.Errorf("Split(%d, %v) = %v, sums to %d", c.n, c.weights, got, sum(got))
+		}
+		for i, g := range got {
+			if g < 0 {
+				t.Errorf("Split(%d, %v)[%d] = %d, negative", c.n, c.weights, i, g)
+			}
+		}
+	}
+}
+
+func TestSplitProportional(t *testing.T) {
+	got := Split(100, []float64{3, 1})
+	if got[0] != 75 || got[1] != 25 {
+		t.Errorf("Split(100, [3 1]) = %v, want [75 25]", got)
+	}
+}
+
+func TestSplitDeterministicTies(t *testing.T) {
+	a := Split(5, []float64{1, 1, 1})
+	b := Split(5, []float64{1, 1, 1})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic: %v vs %v", a, b)
+		}
+	}
+	// 5/3: each gets 1, remainder 2 goes to the two lowest indices.
+	if a[0] != 2 || a[1] != 2 || a[2] != 1 {
+		t.Errorf("Split(5, [1 1 1]) = %v, want [2 2 1]", a)
+	}
+}
+
+func TestSplitDegenerate(t *testing.T) {
+	if got := Split(0, []float64{1, 2}); sum(got) != 0 {
+		t.Errorf("Split(0, ...) = %v", got)
+	}
+	if got := Split(-3, []float64{1}); sum(got) != 0 {
+		t.Errorf("Split(-3, ...) = %v", got)
+	}
+	if got := Split(5, nil); len(got) != 0 {
+		t.Errorf("Split(5, nil) = %v", got)
+	}
+	// No positive weight: equal split, nothing lost.
+	got := Split(10, []float64{0, 0, 0})
+	if sum(got) != 10 {
+		t.Errorf("Split(10, zeros) = %v, sums to %d, want 10", got, sum(got))
+	}
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"hetmp/internal/cluster"
+	"hetmp/internal/interconnect"
+)
+
+// TestConcurrentRuntimesDynamicDispatch is the regression test for the
+// data race on the package-level dynSeq counter: several independent
+// runtimes constructing dynamic dispatches at once used to race on the
+// unguarded increment (caught by -race). Each runtime must still cover
+// its iteration space exactly once.
+func TestConcurrentRuntimesDynamicDispatch(t *testing.T) {
+	const (
+		runtimes = 4
+		n        = 2000
+	)
+	errs := make(chan error, runtimes)
+	var wg sync.WaitGroup
+	for k := 0; k < runtimes; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			cl, err := cluster.NewSim(cluster.SimConfig{
+				Platform: smallPlatform(),
+				Protocol: interconnect.RDMA56(),
+				Seed:     int64(k + 1),
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			rt := New(cl, Options{})
+			body, check := coverageBody(n)
+			err = rt.Run(func(a *App) {
+				a.ParallelFor("race-region", n, DynamicSchedule(8), func(e cluster.Env, lo, hi int) {
+					e.Compute(float64(hi-lo)*10, 0)
+					body(e, lo, hi)
+				})
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if covered, dup := check(); covered != n || dup {
+				errs <- fmt.Errorf("runtime %d: covered %d of %d (dup=%v)", k, covered, n, dup)
+			}
+		}(k)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -24,8 +24,11 @@ type reduceBuffers struct {
 	team *team
 	// partials[node][local] is each worker's accumulator.
 	partials map[int][]any
-	// nodeResult[node] is the leader-combined value for the node.
-	nodeResult map[int]any
+	// nodeResult[slotOf(node)] is the leader-combined value for the
+	// node. A slice, not a map: node leaders on different nodes write
+	// their slots concurrently, and concurrent map assignment races
+	// even on distinct keys.
+	nodeResult []any
 	// localRegions carry the worker→leader traffic (node-local, cheap).
 	localRegions map[int]*cluster.Region
 	// globalRegion carries the leader→master traffic (cross-node); one
@@ -37,7 +40,7 @@ func newReduceBuffers(rt *Runtime, t *team) *reduceBuffers {
 	b := &reduceBuffers{
 		team:         t,
 		partials:     make(map[int][]any, len(t.nodes)),
-		nodeResult:   make(map[int]any, len(t.nodes)),
+		nodeResult:   make([]any, len(t.nodes)),
 		localRegions: make(map[int]*cluster.Region, len(t.nodes)),
 	}
 	for _, n := range t.nodes {
@@ -69,8 +72,8 @@ func (b *reduceBuffers) combineNode(e cluster.Env, node int, r *reduceRun) {
 			acc = r.combine(acc, p)
 		}
 	}
-	b.nodeResult[node] = acc
 	slot := b.slotOf(node)
+	b.nodeResult[slot] = acc
 	e.Store(b.globalRegion, int64(slot)*4096, 8)
 }
 
@@ -79,11 +82,12 @@ func (b *reduceBuffers) combineNode(e cluster.Env, node int, r *reduceRun) {
 func (b *reduceBuffers) combineGlobal(e cluster.Env, r *reduceRun) any {
 	acc := r.init()
 	for _, n := range b.team.nodes {
-		e.Load(b.globalRegion, int64(b.slotOf(n))*4096, 8)
-		if v := b.nodeResult[n]; v != nil {
+		slot := b.slotOf(n)
+		e.Load(b.globalRegion, int64(slot)*4096, 8)
+		if v := b.nodeResult[slot]; v != nil {
 			acc = r.combine(acc, v)
 		}
-		b.nodeResult[n] = nil
+		b.nodeResult[slot] = nil
 	}
 	return acc
 }

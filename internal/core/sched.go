@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
+	"hetmp/internal/apportion"
 	"hetmp/internal/cluster"
 )
 
@@ -109,35 +111,7 @@ func newStaticDispatch(t *team, base, n int, csr map[int]float64) *staticDispatc
 		return d
 	}
 	// Largest-remainder apportionment: deterministic, exact.
-	counts := make([]int, t.total)
-	assigned := 0
-	type rem struct {
-		frac float64
-		idx  int
-	}
-	rems := make([]rem, t.total)
-	for i, w := range weights {
-		exact := float64(n) * w / totalW
-		counts[i] = int(exact)
-		assigned += counts[i]
-		rems[i] = rem{frac: exact - float64(counts[i]), idx: i}
-	}
-	// Distribute the remainder to the largest fractional parts (ties
-	// by index for determinism).
-	for assigned < n {
-		best := -1
-		for j := range rems {
-			if rems[j].frac < 0 {
-				continue
-			}
-			if best == -1 || rems[j].frac > rems[best].frac {
-				best = j
-			}
-		}
-		counts[rems[best].idx]++
-		rems[best].frac = -1
-		assigned++
-	}
+	counts := apportion.Split(n, weights)
 	lo := base
 	for i, c := range counts {
 		d.spans[i] = span{lo: lo, hi: lo + c}
@@ -176,26 +150,29 @@ type dynDispatch struct {
 
 var _ dispatcher = (*dynDispatch)(nil)
 
-var dynSeq int
+// dynSeq disambiguates cell names across dispatches. Atomic because
+// two runtimes (or concurrent Apps) may construct dynamic dispatches
+// at the same time.
+var dynSeq atomic.Int64
 
 // newDynDispatch builds the pools for one region dispatch.
 func newDynDispatch(rt *Runtime, t *team, n, chunk int) *dynDispatch {
 	if chunk <= 0 {
 		chunk = 1
 	}
-	dynSeq++
+	seq := dynSeq.Add(1)
 	d := &dynDispatch{
 		chunk:  chunk,
 		n:      n,
-		global: rt.cl.NewCell(fmt.Sprintf("dyn:g:%d", dynSeq), rt.cl.Origin()),
+		global: rt.cl.NewCell(fmt.Sprintf("dyn:g:%d", seq), rt.cl.Origin()),
 		pool:   make(map[int]cluster.Cell, len(t.nodes)),
 		refill: make(map[int]cluster.Cell, len(t.nodes)),
 		batch:  make(map[int]int, len(t.nodes)),
 		flat:   rt.opts.FlatHierarchy,
 	}
 	for _, node := range t.nodes {
-		d.pool[node] = rt.cl.NewCell(fmt.Sprintf("dyn:p:%d:%d", dynSeq, node), node)
-		d.refill[node] = rt.cl.NewCell(fmt.Sprintf("dyn:r:%d:%d", dynSeq, node), node)
+		d.pool[node] = rt.cl.NewCell(fmt.Sprintf("dyn:p:%d:%d", seq, node), node)
+		d.refill[node] = rt.cl.NewCell(fmt.Sprintf("dyn:r:%d:%d", seq, node), node)
 		d.batch[node] = chunk * t.perNode[node]
 	}
 	return d

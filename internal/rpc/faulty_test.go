@@ -1,0 +1,477 @@
+package rpc
+
+import (
+	"math"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startFaultyWorker spins up a worker with an injected fault and
+// returns its address plus the server (so tests can kill it mid-run).
+func startFaultyWorker(t *testing.T, name string, throttle time.Duration, fault *FaultConfig) (string, *Server) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &Server{Name: name, Cores: 2, Throttle: throttle, Fault: fault}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(ln)
+	}()
+	t.Cleanup(func() {
+		srv.Close()
+		<-done
+	})
+	return ln.Addr().String(), srv
+}
+
+// fastOpts keeps fault-handling latency small so tests stay quick.
+func fastOpts() RunOptions {
+	return RunOptions{
+		CallTimeout:  500 * time.Millisecond,
+		MaxRetries:   1,
+		RetryBackoff: 5 * time.Millisecond,
+	}
+}
+
+func sumSquares(n int, arg float64) float64 {
+	var want float64
+	for i := 0; i < n; i++ {
+		want += float64(i) * float64(i) * arg
+	}
+	return want
+}
+
+func statsByName(stats []WorkerStats) map[string]WorkerStats {
+	m := make(map[string]WorkerStats, len(stats))
+	for _, s := range stats {
+		m[s.Name] = s
+	}
+	return m
+}
+
+// --- Server lifecycle regressions -----------------------------------
+
+func TestCloseBeforeServe(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &Server{Name: "preclosed"}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close before Serve: %v", err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ln) }()
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("Serve after Close = %v, want nil", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Serve did not return after a prior Close")
+	}
+	// The listener must be released too.
+	if conn, err := net.DialTimeout("tcp", ln.Addr().String(), 200*time.Millisecond); err == nil {
+		conn.Close()
+		t.Fatal("listener still accepting after Close-before-Serve")
+	}
+}
+
+func TestCloseIsIdempotentAndWaits(t *testing.T) {
+	registerTestTasks(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &Server{Name: "lifecycle"}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(ln)
+	}()
+	// Park a client connection on the server, then Close: it must
+	// force the connection shut and return instead of waiting forever.
+	pool, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	closed := make(chan struct{})
+	go func() {
+		srv.Close()
+		srv.Close() // second call must not panic or hang either
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close hung with an idle connection open")
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Serve did not return after Close")
+	}
+}
+
+// --- Probe measurement ----------------------------------------------
+
+func TestZeroElapsedProbeStillFavorsFastWorker(t *testing.T) {
+	registerTestTasks(t)
+	// "instant" reports elapsed == 0 (coarse clock); "slow" is
+	// throttled. Without the elapsed floor, instant would keep the
+	// default speed 1 against slow's huge 1/elapsed and receive almost
+	// nothing.
+	fastAddr, _ := startFaultyWorker(t, "instant", 0, &FaultConfig{ZeroElapsed: true})
+	slowAddr, _ := startFaultyWorker(t, "slow", 2*time.Millisecond, nil)
+	pool, err := Dial(fastAddr, slowAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	const n = 100000
+	got, stats, err := pool.Run("count", n, 0, RunOptions{ProbeFraction: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != n {
+		t.Fatalf("counted %v, want %d", got, n)
+	}
+	by := statsByName(stats)
+	if by["instant"].Iterations <= by["slow"].Iterations {
+		t.Errorf("zero-elapsed worker got %d iterations, throttled worker %d — fastest worker starved",
+			by["instant"].Iterations, by["slow"].Iterations)
+	}
+	if by["instant"].SpeedRatio <= 1 {
+		t.Errorf("zero-elapsed worker speed ratio %.2f, want > 1", by["instant"].SpeedRatio)
+	}
+}
+
+// --- Fault injection: deaths, stalls, corruption --------------------
+
+func TestWorkerDiesMidProbeRedistributes(t *testing.T) {
+	registerTestTasks(t)
+	aAddr, _ := startFaultyWorker(t, "healthy-a", 0, nil)
+	bAddr, _ := startFaultyWorker(t, "healthy-b", 0, nil)
+	vAddr, _ := startFaultyWorker(t, "victim", 0, &FaultConfig{DropAfter: 1})
+	pool, err := Dial(aAddr, bAddr, vAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	const n, arg = 90000, 2.0
+	got, stats, err := pool.Run("sum-squares", n, arg, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sumSquares(n, arg)
+	if math.Abs(got-want) > 1e-9*want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	by := statsByName(stats)
+	v := by["victim"]
+	if v.Alive {
+		t.Error("victim reported alive after dying mid-probe")
+	}
+	if v.Failure == "" {
+		t.Error("victim has no failure recorded")
+	}
+	if v.Retries == 0 {
+		t.Error("victim was never retried")
+	}
+	if v.Redistributed == 0 {
+		t.Error("victim's probe span was not counted as redistributed")
+	}
+	if by["healthy-a"].Iterations+by["healthy-b"].Iterations != n {
+		t.Errorf("survivors executed %d iterations, want %d",
+			by["healthy-a"].Iterations+by["healthy-b"].Iterations, n)
+	}
+}
+
+func TestWorkerDiesMidRemainderRedistributes(t *testing.T) {
+	registerTestTasks(t)
+	aAddr, _ := startFaultyWorker(t, "healthy-a", 0, nil)
+	bAddr, _ := startFaultyWorker(t, "healthy-b", 0, nil)
+	// Serves its probe (request 1), dies on the remainder (request 2+).
+	vAddr, _ := startFaultyWorker(t, "victim", 0, &FaultConfig{DropAfter: 2})
+	pool, err := Dial(aAddr, bAddr, vAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	const n, arg = 90000, 3.0
+	got, stats, err := pool.Run("sum-squares", n, arg, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sumSquares(n, arg)
+	if math.Abs(got-want) > 1e-9*want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	by := statsByName(stats)
+	v := by["victim"]
+	if v.Alive {
+		t.Error("victim reported alive after dying mid-remainder")
+	}
+	if v.Redistributed == 0 {
+		t.Error("victim's remainder span was not counted as redistributed")
+	}
+	// The victim's probe did complete and must stay accounted.
+	if v.Iterations == 0 {
+		t.Error("victim's completed probe iterations were discarded")
+	}
+	var total int
+	for _, s := range stats {
+		total += s.Iterations
+	}
+	if total != n {
+		t.Errorf("accounted iterations %d, want exactly %d (no loss, no double count)", total, n)
+	}
+}
+
+func TestWorkerStallPastDeadlineIsDropped(t *testing.T) {
+	registerTestTasks(t)
+	aAddr, _ := startFaultyWorker(t, "healthy-a", 0, nil)
+	bAddr, _ := startFaultyWorker(t, "healthy-b", 0, nil)
+	// Probe is served promptly; every later request stalls far past
+	// the client deadline.
+	vAddr, _ := startFaultyWorker(t, "victim", 0, &FaultConfig{StallAfter: 2, StallFor: 30 * time.Second})
+	pool, err := Dial(aAddr, bAddr, vAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	opts := RunOptions{CallTimeout: 150 * time.Millisecond, MaxRetries: 1, RetryBackoff: 5 * time.Millisecond}
+	const n = 60000
+	start := time.Now()
+	got, stats, err := pool.Run("count", n, 0, opts)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != n {
+		t.Fatalf("counted %v, want %d", got, n)
+	}
+	// Budget: 2 attempts x 150ms deadline + backoff + redistribution.
+	// Anything near the 30s stall means the deadline never fired.
+	if elapsed > 5*time.Second {
+		t.Fatalf("run took %v, deadline budget blown", elapsed)
+	}
+	v := statsByName(stats)["victim"]
+	if v.Alive {
+		t.Error("stalled worker reported alive")
+	}
+	if !strings.Contains(v.Failure, "receive") && !strings.Contains(v.Failure, "timeout") &&
+		!strings.Contains(v.Failure, "deadline") {
+		t.Errorf("stall failure = %q, want a receive/deadline error", v.Failure)
+	}
+}
+
+func TestCorruptResponseDropsWorker(t *testing.T) {
+	registerTestTasks(t)
+	aAddr, _ := startFaultyWorker(t, "healthy-a", 0, nil)
+	vAddr, _ := startFaultyWorker(t, "victim", 0, &FaultConfig{CorruptAfter: 1})
+	pool, err := Dial(aAddr, vAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	const n = 40000
+	got, stats, err := pool.Run("count", n, 0, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != n {
+		t.Fatalf("counted %v, want %d", got, n)
+	}
+	v := statsByName(stats)["victim"]
+	if v.Alive {
+		t.Error("corrupting worker reported alive")
+	}
+	if !strings.Contains(v.Failure, "answered request") {
+		t.Errorf("failure = %q, want an id-mismatch error", v.Failure)
+	}
+}
+
+func TestTransientDropIsRetriedSuccessfully(t *testing.T) {
+	registerTestTasks(t)
+	aAddr, _ := startFaultyWorker(t, "steady", 0, nil)
+	// Drops exactly one request (the remainder call), then recovers:
+	// the pool's reconnect-and-retry must succeed with no casualty.
+	fAddr, _ := startFaultyWorker(t, "flaky", 0, &FaultConfig{DropAfter: 2, DropCount: 1})
+	pool, err := Dial(aAddr, fAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	const n = 40000
+	got, stats, err := pool.Run("count", n, 0, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != n {
+		t.Fatalf("counted %v, want %d", got, n)
+	}
+	f := statsByName(stats)["flaky"]
+	if !f.Alive {
+		t.Errorf("flaky worker declared dead despite a recoverable drop: %s", f.Failure)
+	}
+	if f.Retries == 0 {
+		t.Error("flaky worker shows no retries")
+	}
+	if f.Redistributed != 0 {
+		t.Errorf("flaky worker shows %d redistributed iterations, want 0", f.Redistributed)
+	}
+}
+
+func TestAllWorkersDeadFailsFast(t *testing.T) {
+	registerTestTasks(t)
+	vAddr, _ := startFaultyWorker(t, "victim", 0, &FaultConfig{DropAfter: 1})
+	pool, err := Dial(vAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := pool.Run("count", 10000, 0, fastOpts())
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("run with every worker dead succeeded")
+		}
+		if !strings.Contains(err.Error(), "all workers failed") {
+			t.Errorf("err = %v, want an all-workers-failed error", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run hung instead of failing when all workers died")
+	}
+}
+
+// TestWorkerKilledMidRun is the acceptance scenario: three workers,
+// one hard-killed (server closed, connections torn down) while it is
+// executing its remainder span. The run must complete with the exact
+// result, report the casualty, and stay inside the deadline budget.
+func TestWorkerKilledMidRun(t *testing.T) {
+	registerTestTasks(t)
+	throttle := 2 * time.Millisecond // slow everyone so the kill lands mid-execution
+	aAddr, _ := startFaultyWorker(t, "survivor-a", throttle, nil)
+	bAddr, _ := startFaultyWorker(t, "survivor-b", throttle, nil)
+	vAddr, victim := startFaultyWorker(t, "victim", throttle, nil)
+	pool, err := Dial(aAddr, bAddr, vAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	// Kill the victim as soon as it has received its remainder request
+	// (request 2: request 1 is the probe), i.e. genuinely mid-run.
+	go func() {
+		for victim.served.Load() < 2 {
+			time.Sleep(time.Millisecond)
+		}
+		victim.Close()
+	}()
+
+	const n, arg = 150000, 2.0
+	opts := RunOptions{CallTimeout: 2 * time.Second, MaxRetries: 1, RetryBackoff: 5 * time.Millisecond}
+	start := time.Now()
+	got, stats, err := pool.Run("sum-squares", n, arg, opts)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sumSquares(n, arg)
+	if math.Abs(got-want) > 1e-9*want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	by := statsByName(stats)
+	v := by["victim"]
+	if v.Alive {
+		t.Error("killed worker reported alive")
+	}
+	if v.Failure == "" {
+		t.Error("killed worker has no failure recorded")
+	}
+	if v.Redistributed == 0 {
+		t.Error("killed worker's unfinished span was not redistributed")
+	}
+	if !by["survivor-a"].Alive || !by["survivor-b"].Alive {
+		t.Error("survivors not reported alive")
+	}
+	var total int
+	for _, s := range stats {
+		total += s.Iterations
+	}
+	if total != n {
+		t.Errorf("accounted iterations %d, want exactly %d", total, n)
+	}
+	// Deadline budget: the whole run, kill and redistribution
+	// included, must finish in bounded time (throttled work is ~0.1s
+	// per survivor plus one 2s deadline worst-case).
+	if elapsed > 15*time.Second {
+		t.Fatalf("run took %v, want bounded completion", elapsed)
+	}
+}
+
+func TestBackgroundRedialRevivesWorker(t *testing.T) {
+	registerTestTasks(t)
+	aAddr, _ := startFaultyWorker(t, "steady", 0, nil)
+	// Dies on its first request only; stays reachable for re-dials.
+	fAddr, _ := startFaultyWorker(t, "reborn", 0, &FaultConfig{DropAfter: 1, DropCount: 1})
+	pool, err := Dial(aAddr, fAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	pool.RedialInterval = 10 * time.Millisecond
+
+	const n = 40000
+	// Retries disabled: the first drop kills the worker for this run.
+	got, stats, err := pool.Run("count", n, 0, RunOptions{
+		CallTimeout: 500 * time.Millisecond, MaxRetries: -1, RetryBackoff: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != n {
+		t.Fatalf("counted %v, want %d", got, n)
+	}
+	if s := statsByName(stats)["reborn"]; s.Alive {
+		t.Fatal("worker should have died on its dropped request")
+	}
+
+	// The background redialer should restore the worker for later runs.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(pool.Workers()) < 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(pool.Workers()) != 2 {
+		t.Fatalf("pool has workers %v, want the casualty re-dialed", pool.Workers())
+	}
+	got, stats, err = pool.Run("count", n, 0, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != n {
+		t.Fatalf("post-revival count %v, want %d", got, n)
+	}
+	by := statsByName(stats)
+	if !by["reborn"].Alive || by["reborn"].Iterations == 0 {
+		t.Errorf("revived worker did not participate: %+v", by["reborn"])
+	}
+}

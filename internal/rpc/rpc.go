@@ -12,6 +12,21 @@
 // argument), mirroring how offload-style systems ship closed work
 // descriptions. Partial results are combined with the task's associative
 // combiner.
+//
+// # Fault tolerance
+//
+// The pool treats worker failure as a scheduler event, not a fatal
+// error. Every chunk RPC carries a deadline; a call that times out,
+// hits a transport error, or returns a corrupt frame is retried a
+// bounded number of times with exponential backoff (each retry
+// re-dials, because a broken gob stream cannot be resynchronized).
+// When retries are exhausted the worker is dropped from the pool and
+// its unfinished spans are re-apportioned across the survivors —
+// legal because tasks are pure, so re-executing a range yields the
+// same partial. Chunks are therefore executed at least once but
+// *accounted* exactly once: only decoded, ID-matched responses are
+// combined, so a lost response that was actually computed never
+// double-counts. A run fails only when every worker is gone.
 package rpc
 
 import (
@@ -20,7 +35,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"hetmp/internal/apportion"
 )
 
 // Task computes a partial result over iterations [lo, hi). arg is an
@@ -84,6 +102,31 @@ type hello struct {
 
 const protocolVersion = 1
 
+// FaultConfig injects failures into a Server for testing the pool's
+// fault tolerance. Request counts are cumulative across all
+// connections (so a client that reconnects keeps hitting the fault).
+type FaultConfig struct {
+	// DropAfter, when > 0, makes the server close the connection
+	// instead of serving the Nth request and every request after it.
+	// DropCount limits how many consecutive requests are dropped
+	// (0 = all of them); a finite count models a transient failure the
+	// client's retry should survive.
+	DropAfter int
+	DropCount int
+	// StallFor, when > 0, delays serving each request from the
+	// StallAfter-th onward (minimum 1) by this duration — long enough
+	// to trip a client deadline. The stall aborts early if the server
+	// is closed.
+	StallFor   time.Duration
+	StallAfter int
+	// CorruptAfter, when > 0, makes the server answer the Nth request
+	// onward with a mismatched response ID.
+	CorruptAfter int
+	// ZeroElapsed reports ElapsedNs = 0 in every response, emulating a
+	// clock too coarse to time a probe chunk.
+	ZeroElapsed bool
+}
+
 // Server is a worker daemon serving task executions.
 type Server struct {
 	// Name identifies the worker in pool statistics.
@@ -95,17 +138,29 @@ type Server struct {
 	// node (used by examples and tests to stand in for a low-power
 	// ISA).
 	Throttle time.Duration
+	// Fault, when non-nil, injects failures (see FaultConfig). Set it
+	// before Serve.
+	Fault *FaultConfig
 
+	mu     sync.Mutex
 	ln     net.Listener
 	wg     sync.WaitGroup
-	mu     sync.Mutex
 	closed bool
+	done   chan struct{}
+	conns  map[net.Conn]struct{}
+	served atomic.Int64
 }
 
 // Serve accepts connections on ln until Close is called. It returns
-// nil after a clean shutdown.
+// nil after a clean shutdown. If Close was already called, Serve
+// closes ln and returns nil immediately.
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return nil
+	}
 	s.ln = ln
 	s.mu.Unlock()
 	for {
@@ -120,28 +175,77 @@ func (s *Server) Serve(ln net.Listener) error {
 			}
 			return err
 		}
+		// Register the connection under the same critical section that
+		// checks closed, so Close never misses a handler: wg.Add only
+		// happens while !closed, and Close flips closed before waiting.
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		if s.conns == nil {
+			s.conns = make(map[net.Conn]struct{})
+		}
+		s.conns[conn] = struct{}{}
 		s.wg.Add(1)
+		s.mu.Unlock()
 		go func() {
 			defer s.wg.Done()
 			s.handle(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+			conn.Close()
 		}()
 	}
 }
 
-// Close stops accepting and waits for in-flight connections.
+// Close stops accepting, closes open connections, and waits for
+// in-flight handlers to return. It is idempotent: every call blocks
+// until shutdown is complete. Calling Close before Serve makes the
+// subsequent Serve return immediately.
 func (s *Server) Close() error {
 	s.mu.Lock()
-	s.closed = true
-	ln := s.ln
-	s.mu.Unlock()
-	if ln != nil {
-		return ln.Close()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
 	}
-	return nil
+	s.closed = true
+	if s.done == nil {
+		s.done = make(chan struct{})
+	}
+	close(s.done)
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// doneChan lazily creates the shutdown channel so a zero-value Server
+// still works.
+func (s *Server) doneChan() chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done == nil {
+		s.done = make(chan struct{})
+	}
+	return s.done
 }
 
 func (s *Server) handle(conn net.Conn) {
-	defer conn.Close()
 	enc := gob.NewEncoder(conn)
 	dec := gob.NewDecoder(conn)
 	if err := enc.Encode(hello{Name: s.Name, Cores: s.Cores, Version: protocolVersion}); err != nil {
@@ -152,7 +256,28 @@ func (s *Server) handle(conn net.Conn) {
 		if err := dec.Decode(&req); err != nil {
 			return
 		}
+		seq := int(s.served.Add(1))
+		f := s.Fault
+		if f != nil && f.DropAfter > 0 && seq >= f.DropAfter &&
+			(f.DropCount <= 0 || seq < f.DropAfter+f.DropCount) {
+			return // hang up without replying
+		}
+		if f != nil && f.StallFor > 0 && seq >= max(1, f.StallAfter) {
+			select {
+			case <-time.After(f.StallFor):
+			case <-s.doneChan():
+				return
+			}
+		}
 		resp := s.execute(req)
+		if f != nil {
+			if f.ZeroElapsed {
+				resp.ElapsedNs = 0
+			}
+			if f.CorruptAfter > 0 && seq >= f.CorruptAfter {
+				resp.ID += 1 << 20
+			}
+		}
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
@@ -182,39 +307,127 @@ func (s *Server) execute(req request) response {
 	return response{ID: req.ID, Partial: partial, ElapsedNs: time.Since(start).Nanoseconds()}
 }
 
-// worker is the pool's view of one connected server.
-type worker struct {
-	name  string
-	cores int
-	conn  net.Conn
-	enc   *gob.Encoder
-	dec   *gob.Decoder
-	next  uint64
+// remoteError is an application-level error reported by a worker (the
+// task ran — or was rejected — and the worker answered with an error
+// string). Unlike transport errors it is not retried: the worker is
+// healthy, the request itself is bad.
+type remoteError struct {
+	worker string
+	msg    string
 }
 
-// call executes one chunk synchronously.
-func (w *worker) call(task string, lo, hi int, arg float64, closing bool) (response, error) {
+func (e *remoteError) Error() string { return fmt.Sprintf("rpc: %s: %s", e.worker, e.msg) }
+
+// worker is the pool's view of one connected server. The connection
+// triple is guarded by mu because a mid-run reconnect replaces it
+// while Pool.Close may race to shut it down.
+type worker struct {
+	addr  string
+	name  string
+	cores int
+
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	next uint64
+}
+
+const handshakeTimeout = 5 * time.Second
+
+// dialWorker connects and handshakes with one worker address.
+func dialWorker(addr string) (*worker, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
+	}
+	conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	w := &worker{addr: addr, conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+	var h hello
+	if err := w.dec.Decode(&h); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("rpc: handshake with %s: %w", addr, err)
+	}
+	if h.Version != protocolVersion {
+		conn.Close()
+		return nil, fmt.Errorf("rpc: %s speaks protocol %d, want %d", addr, h.Version, protocolVersion)
+	}
+	conn.SetDeadline(time.Time{})
+	w.name = h.Name
+	if w.name == "" {
+		w.name = addr
+	}
+	w.cores = h.Cores
+	return w, nil
+}
+
+// call executes one chunk synchronously. A timeout > 0 bounds the
+// whole exchange via connection deadlines; on expiry the connection is
+// unusable (a late response would desynchronize the gob stream) and
+// the caller must reconnect before retrying.
+func (w *worker) call(task string, lo, hi int, arg float64, closing bool, timeout time.Duration) (response, error) {
+	w.mu.Lock()
+	conn, enc, dec := w.conn, w.enc, w.dec
 	w.next++
-	req := request{ID: w.next, Task: task, Lo: lo, Hi: hi, Arg: arg, Close: closing}
-	if err := w.enc.Encode(req); err != nil {
+	id := w.next
+	w.mu.Unlock()
+	if conn == nil {
+		return response{}, fmt.Errorf("rpc: %s: connection closed", w.name)
+	}
+	if timeout > 0 {
+		conn.SetDeadline(time.Now().Add(timeout))
+		defer conn.SetDeadline(time.Time{})
+	}
+	req := request{ID: id, Task: task, Lo: lo, Hi: hi, Arg: arg, Close: closing}
+	if err := enc.Encode(req); err != nil {
 		return response{}, fmt.Errorf("rpc: send to %s: %w", w.name, err)
 	}
 	var resp response
-	if err := w.dec.Decode(&resp); err != nil {
+	if err := dec.Decode(&resp); err != nil {
 		return response{}, fmt.Errorf("rpc: receive from %s: %w", w.name, err)
 	}
-	if resp.ID != req.ID {
-		return response{}, fmt.Errorf("rpc: %s answered request %d with id %d", w.name, req.ID, resp.ID)
+	if resp.ID != id {
+		return response{}, fmt.Errorf("rpc: %s answered request %d with id %d", w.name, id, resp.ID)
 	}
 	if resp.Err != "" {
-		return response{}, fmt.Errorf("rpc: %s: %s", w.name, resp.Err)
+		return response{}, &remoteError{worker: w.name, msg: resp.Err}
 	}
 	return resp, nil
 }
 
+// adopt replaces w's connection with a freshly dialed one.
+func (w *worker) adopt(fresh *worker) {
+	w.mu.Lock()
+	if w.conn != nil {
+		w.conn.Close()
+	}
+	w.conn, w.enc, w.dec = fresh.conn, fresh.enc, fresh.dec
+	w.next = 0
+	w.mu.Unlock()
+}
+
+func (w *worker) closeConn() {
+	w.mu.Lock()
+	if w.conn != nil {
+		w.conn.Close()
+		w.conn, w.enc, w.dec = nil, nil, nil
+	}
+	w.mu.Unlock()
+}
+
 // Pool distributes loops over connected workers.
 type Pool struct {
-	workers []*worker
+	// RedialInterval, when > 0, makes the pool try to re-dial a worker
+	// that a Run dropped, in the background, until it answers or the
+	// pool is closed; a revived worker rejoins the pool for subsequent
+	// runs. Set it before the first Run.
+	RedialInterval time.Duration
+
+	mu       sync.Mutex
+	workers  []*worker
+	closed   bool
+	done     chan struct{}
+	redialWG sync.WaitGroup
 }
 
 // WorkerStats reports one worker's measured behaviour for a run.
@@ -223,10 +436,21 @@ type WorkerStats struct {
 	// SpeedRatio is the worker's measured speed relative to the
 	// slowest worker (the paper's core speed ratio).
 	SpeedRatio float64
-	// Iterations executed (probe + remaining).
+	// Iterations executed and accounted (probe + remaining).
 	Iterations int
 	// Elapsed is total busy time reported by the worker.
 	Elapsed time.Duration
+	// Retries counts reconnect-and-retry attempts made for this worker
+	// during the run.
+	Retries int
+	// Redistributed counts iterations that were assigned to this
+	// worker but re-executed elsewhere after it failed.
+	Redistributed int
+	// Alive reports whether the worker was still usable when the run
+	// ended.
+	Alive bool
+	// Failure holds the final error for a worker that died mid-run.
+	Failure string
 }
 
 // Dial connects to worker addresses. All must be reachable; Close the
@@ -235,47 +459,44 @@ func Dial(addrs ...string) (*Pool, error) {
 	if len(addrs) == 0 {
 		return nil, errors.New("rpc: no worker addresses")
 	}
-	p := &Pool{}
+	p := &Pool{done: make(chan struct{})}
 	for _, addr := range addrs {
-		conn, err := net.Dial("tcp", addr)
+		w, err := dialWorker(addr)
 		if err != nil {
 			p.Close()
-			return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
-		}
-		w := &worker{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
-		var h hello
-		if err := w.dec.Decode(&h); err != nil {
-			p.Close()
-			conn.Close()
-			return nil, fmt.Errorf("rpc: handshake with %s: %w", addr, err)
-		}
-		if h.Version != protocolVersion {
-			p.Close()
-			conn.Close()
-			return nil, fmt.Errorf("rpc: %s speaks protocol %d, want %d", addr, h.Version, protocolVersion)
-		}
-		w.name = h.Name
-		w.cores = h.Cores
-		if w.name == "" {
-			w.name = addr
+			return nil, err
 		}
 		p.workers = append(p.workers, w)
 	}
 	return p, nil
 }
 
-// Close hangs up on every worker.
+// Close hangs up on every worker and stops background re-dialing.
 func (p *Pool) Close() {
-	for _, w := range p.workers {
-		if w.conn != nil {
-			w.conn.Close()
-		}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.redialWG.Wait()
+		return
 	}
+	p.closed = true
+	ws := p.workers
 	p.workers = nil
+	done := p.done
+	p.mu.Unlock()
+	if done != nil {
+		close(done)
+	}
+	for _, w := range ws {
+		w.closeConn()
+	}
+	p.redialWG.Wait()
 }
 
 // Workers returns the connected worker names.
 func (p *Pool) Workers() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	names := make([]string, len(p.workers))
 	for i, w := range p.workers {
 		names[i] = w.name
@@ -283,21 +504,124 @@ func (p *Pool) Workers() []string {
 	return names
 }
 
+// dropWorker removes a dead worker from the pool and, if configured,
+// starts a background goroutine that re-dials it for future runs.
+func (p *Pool) dropWorker(w *worker) {
+	p.mu.Lock()
+	for i, x := range p.workers {
+		if x == w {
+			p.workers = append(p.workers[:i], p.workers[i+1:]...)
+			break
+		}
+	}
+	interval := p.RedialInterval
+	closed := p.closed
+	p.mu.Unlock()
+	w.closeConn()
+	if interval > 0 && !closed {
+		p.redialWG.Add(1)
+		go p.redialLoop(w.addr, interval)
+	}
+}
+
+func (p *Pool) redialLoop(addr string, interval time.Duration) {
+	defer p.redialWG.Done()
+	for {
+		select {
+		case <-p.done:
+			return
+		case <-time.After(interval):
+		}
+		fresh, err := dialWorker(addr)
+		if err != nil {
+			continue
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			fresh.closeConn()
+			return
+		}
+		p.workers = append(p.workers, fresh)
+		p.mu.Unlock()
+		return
+	}
+}
+
+// Fault-tolerance defaults for RunOptions zero values.
+const (
+	// DefaultCallTimeout bounds a single chunk RPC when
+	// RunOptions.CallTimeout is zero. Generous, because a remainder
+	// chunk can be large — but finite, so a hung worker can never hang
+	// a run forever.
+	DefaultCallTimeout = 2 * time.Minute
+	// DefaultMaxRetries is how often a failed call is re-dialed and
+	// re-issued before the worker is declared dead.
+	DefaultMaxRetries = 2
+	// DefaultRetryBackoff is the delay before the first retry; it
+	// doubles on each subsequent attempt.
+	DefaultRetryBackoff = 25 * time.Millisecond
+	// minProbeElapsed floors a measured probe duration. A fast task on
+	// a coarse clock can report elapsed == 0; without the floor that
+	// worker would keep the default speed while slower workers get
+	// huge 1/elapsed values, starving the *fastest* worker.
+	minProbeElapsed = time.Microsecond
+)
+
 // RunOptions tunes a distributed loop.
 type RunOptions struct {
 	// ProbeFraction is the share of iterations used to measure worker
 	// speeds (default 0.1, as in the paper).
 	ProbeFraction float64
-	// Combine merges partial results (default: sum).
+	// Combine merges partial results (default: sum). It must be
+	// associative and insensitive to partial ordering.
 	Combine func(a, b float64) float64
+	// CallTimeout bounds each chunk RPC (send + execute + receive). A
+	// call exceeding it counts as a worker failure. Zero selects
+	// DefaultCallTimeout; negative disables deadlines.
+	CallTimeout time.Duration
+	// MaxRetries is how many times a failed chunk call is retried
+	// against the same worker (each retry re-dials, since a failed gob
+	// stream cannot be reused). Zero selects DefaultMaxRetries;
+	// negative disables retries.
+	MaxRetries int
+	// RetryBackoff is the delay before the first retry, doubling per
+	// attempt. Zero selects DefaultRetryBackoff.
+	RetryBackoff time.Duration
+}
+
+// span is a contiguous iteration range.
+type span struct{ lo, hi int }
+
+func spanCount(spans []span) int {
+	c := 0
+	for _, sp := range spans {
+		c += sp.hi - sp.lo
+	}
+	return c
+}
+
+func clampElapsed(d time.Duration) time.Duration {
+	if d < minProbeElapsed {
+		return minProbeElapsed
+	}
+	return d
 }
 
 // Run distributes a registered task's n iterations across the pool:
 // probe equal chunks on every worker in parallel, derive speed ratios,
-// split the remainder proportionally, and combine the partials. It
-// returns the combined result and per-worker statistics.
+// split the remainder proportionally (largest-remainder
+// apportionment), and combine the partials. Workers that time out,
+// error, or disconnect are retried, then dropped, with their
+// unfinished iterations redistributed across the survivors; the run
+// fails only when no workers remain. It returns the combined result
+// and per-worker statistics (including casualties).
 func (p *Pool) Run(task string, n int, arg float64, opts RunOptions) (float64, []WorkerStats, error) {
-	if len(p.workers) == 0 {
+	p.mu.Lock()
+	workers := make([]*worker, len(p.workers))
+	copy(workers, p.workers)
+	p.mu.Unlock()
+	if len(workers) == 0 {
 		return 0, nil, errors.New("rpc: pool has no workers")
 	}
 	if opts.ProbeFraction <= 0 || opts.ProbeFraction >= 1 {
@@ -307,47 +631,75 @@ func (p *Pool) Run(task string, n int, arg float64, opts RunOptions) (float64, [
 	if combine == nil {
 		combine = func(a, b float64) float64 { return a + b }
 	}
-
-	nw := len(p.workers)
-	stats := make([]WorkerStats, nw)
-	for i, w := range p.workers {
-		stats[i].Name = w.name
+	timeout := opts.CallTimeout
+	if timeout == 0 {
+		timeout = DefaultCallTimeout
+	} else if timeout < 0 {
+		timeout = 0
+	}
+	retries := opts.MaxRetries
+	if retries == 0 {
+		retries = DefaultMaxRetries
+	} else if retries < 0 {
+		retries = 0
+	}
+	backoff := opts.RetryBackoff
+	if backoff <= 0 {
+		backoff = DefaultRetryBackoff
 	}
 
-	chunk := int(float64(n) * opts.ProbeFraction / float64(nw))
-	type outcome struct {
-		partial float64
-		elapsed time.Duration
-		err     error
+	r := &run{
+		pool:    p,
+		task:    task,
+		arg:     arg,
+		timeout: timeout,
+		retries: retries,
+		backoff: backoff,
+		workers: workers,
+		alive:   make([]bool, len(workers)),
+		speeds:  make([]float64, len(workers)),
+		stats:   make([]WorkerStats, len(workers)),
 	}
-	results := make([]outcome, nw)
-
-	runParallel := func(spans []span) {
-		var wg sync.WaitGroup
-		for i, sp := range spans {
-			if sp.hi <= sp.lo {
-				results[i] = outcome{}
-				continue
-			}
-			wg.Add(1)
-			go func(i int, sp span) {
-				defer wg.Done()
-				resp, err := p.workers[i].call(task, sp.lo, sp.hi, arg, false)
-				if err != nil {
-					results[i] = outcome{err: err}
-					return
-				}
-				results[i] = outcome{
-					partial: resp.Partial,
-					elapsed: time.Duration(resp.ElapsedNs),
-				}
-			}(i, sp)
-		}
-		wg.Wait()
+	for i, w := range workers {
+		r.alive[i] = true
+		r.speeds[i] = 1
+		r.stats[i] = WorkerStats{Name: w.name, Alive: true}
 	}
+	return r.execute(n, opts.ProbeFraction, combine)
+}
 
-	total := 0.0
-	first := true
+// run is the per-invocation state of Pool.Run.
+type run struct {
+	pool    *Pool
+	task    string
+	arg     float64
+	timeout time.Duration
+	retries int
+	backoff time.Duration
+	workers []*worker
+	alive   []bool
+	speeds  []float64
+	stats   []WorkerStats
+}
+
+// chunkDone is one successfully executed and accounted span.
+type chunkDone struct {
+	sp      span
+	partial float64
+	elapsed time.Duration
+}
+
+// workerOutcome is what one worker produced for one batch: completed
+// chunks, plus any spans it failed to finish (to be redistributed).
+type workerOutcome struct {
+	done   []chunkDone
+	failed []span
+	err    error
+}
+
+func (r *run) execute(n int, probeFrac float64, combine func(a, b float64) float64) (float64, []WorkerStats, error) {
+	nw := len(r.workers)
+	total, first := 0.0, true
 	acc := func(v float64) {
 		if first {
 			total, first = v, false
@@ -355,76 +707,200 @@ func (p *Pool) Run(task string, n int, arg float64, opts RunOptions) (float64, [
 		}
 		total = combine(total, v)
 	}
-
-	base := 0
-	speeds := make([]float64, nw)
-	for i := range speeds {
-		speeds[i] = 1
+	var lastErr error
+	// account folds one worker's batch outcome into the run: partials
+	// are combined exactly once per completed span; a failure kills
+	// the worker and earmarks its unfinished spans for redistribution.
+	account := func(i int, out workerOutcome, probe bool) {
+		for _, d := range out.done {
+			acc(d.partial)
+			r.stats[i].Iterations += d.sp.hi - d.sp.lo
+			r.stats[i].Elapsed += d.elapsed
+			if probe {
+				r.speeds[i] = 1 / clampElapsed(d.elapsed).Seconds()
+			}
+		}
+		if out.err != nil {
+			lastErr = out.err
+			r.fail(i, out.err, spanCount(out.failed))
+		}
 	}
+
+	var pending []span
+	base := 0
+	chunk := int(float64(n) * probeFrac / float64(nw))
 	if chunk >= 1 && n >= 2*nw*chunk {
 		// Probing period: a constant chunk per worker, concurrently.
-		spans := make([]span, nw)
-		for i := range spans {
-			spans[i] = span{lo: base, hi: base + chunk}
+		assigns := make([][]span, nw)
+		for i := range assigns {
+			assigns[i] = []span{{lo: base, hi: base + chunk}}
 			base += chunk
 		}
-		runParallel(spans)
-		for i, r := range results {
-			if r.err != nil {
-				return 0, nil, r.err
+		outs := r.runBatch(assigns)
+		for i, out := range outs {
+			account(i, out, true)
+			pending = append(pending, out.failed...)
+		}
+	}
+	if base < n {
+		pending = append(pending, span{lo: base, hi: n})
+	}
+
+	// Distribute pending spans proportionally to measured speeds,
+	// re-apportioning after every casualty until nothing is left.
+	for len(pending) > 0 {
+		live := r.liveIndices()
+		if len(live) == 0 {
+			if lastErr == nil {
+				lastErr = errors.New("no live workers")
 			}
-			acc(r.partial)
-			stats[i].Iterations += chunk
-			stats[i].Elapsed += r.elapsed
-			if r.elapsed > 0 {
-				speeds[i] = 1 / r.elapsed.Seconds()
-			}
+			return 0, r.stats, fmt.Errorf("rpc: %d iterations unrecoverable, all workers failed: %w",
+				spanCount(pending), lastErr)
+		}
+		assigns := r.apportionSpans(pending, live)
+		pending = nil
+		outs := r.runBatch(assigns)
+		for i, out := range outs {
+			account(i, out, false)
+			pending = append(pending, out.failed...)
 		}
 	}
 
-	// Distribute the remainder proportionally to measured speeds.
-	remaining := n - base
-	if remaining > 0 {
-		var sum float64
-		for _, s := range speeds {
-			sum += s
-		}
-		spans := make([]span, nw)
-		lo := base
-		for i := range spans {
-			share := int(float64(remaining) * speeds[i] / sum)
-			if i == nw-1 {
-				share = n - lo
-			}
-			spans[i] = span{lo: lo, hi: lo + share}
-			lo += share
-		}
-		runParallel(spans)
-		for i, r := range results {
-			if r.err != nil {
-				return 0, nil, r.err
-			}
-			if spans[i].hi > spans[i].lo {
-				acc(r.partial)
-				stats[i].Iterations += spans[i].hi - spans[i].lo
-				stats[i].Elapsed += r.elapsed
-			}
-		}
-	}
-
-	// Normalize speed ratios against the slowest worker.
+	// Normalize speed ratios against the slowest surviving worker.
 	slowest := 0.0
-	for _, s := range speeds {
-		if slowest == 0 || s < slowest {
+	for i, s := range r.speeds {
+		if r.alive[i] && (slowest == 0 || s < slowest) {
 			slowest = s
 		}
 	}
-	for i := range stats {
+	for i := range r.stats {
 		if slowest > 0 {
-			stats[i].SpeedRatio = speeds[i] / slowest
+			r.stats[i].SpeedRatio = r.speeds[i] / slowest
 		}
 	}
-	return total, stats, nil
+	return total, r.stats, nil
 }
 
-type span struct{ lo, hi int }
+// fail marks worker i dead for this run and drops it from the pool.
+func (r *run) fail(i int, err error, lost int) {
+	r.alive[i] = false
+	r.stats[i].Alive = false
+	r.stats[i].Failure = err.Error()
+	r.stats[i].Redistributed += lost
+	r.pool.dropWorker(r.workers[i])
+}
+
+func (r *run) liveIndices() []int {
+	var live []int
+	for i, a := range r.alive {
+		if a {
+			live = append(live, i)
+		}
+	}
+	return live
+}
+
+// apportionSpans splits the pending spans across live workers
+// proportionally to their measured speeds, using largest-remainder
+// apportionment so every iteration is assigned exactly once.
+func (r *run) apportionSpans(pending []span, live []int) [][]span {
+	assigns := make([][]span, len(r.workers))
+	weights := make([]float64, len(live))
+	for j, i := range live {
+		weights[j] = r.speeds[i]
+	}
+	counts := apportion.Split(spanCount(pending), weights)
+	j := 0
+	for _, sp := range pending {
+		lo := sp.lo
+		for lo < sp.hi {
+			for j < len(live) && counts[j] == 0 {
+				j++
+			}
+			if j >= len(live) {
+				// Defensive: Split always covers the full count, but
+				// never drop iterations if that invariant breaks.
+				last := live[len(live)-1]
+				assigns[last] = append(assigns[last], span{lo: lo, hi: sp.hi})
+				break
+			}
+			take := min(counts[j], sp.hi-lo)
+			assigns[live[j]] = append(assigns[live[j]], span{lo: lo, hi: lo + take})
+			counts[j] -= take
+			lo += take
+		}
+	}
+	return assigns
+}
+
+// runBatch executes each worker's assigned spans: workers run
+// concurrently, a worker's own spans sequentially (its connection
+// carries one request at a time). Outcome slots are per-worker, so no
+// locking is needed; the WaitGroup orders all writes before the reads
+// in account().
+func (r *run) runBatch(assigns [][]span) []workerOutcome {
+	outs := make([]workerOutcome, len(r.workers))
+	var wg sync.WaitGroup
+	for i, spans := range assigns {
+		if len(spans) == 0 {
+			continue
+		}
+		if !r.alive[i] {
+			outs[i].failed = spans
+			continue
+		}
+		wg.Add(1)
+		go func(i int, spans []span) {
+			defer wg.Done()
+			for k, sp := range spans {
+				resp, err := r.callChunk(i, sp)
+				if err != nil {
+					outs[i].err = err
+					outs[i].failed = append([]span(nil), spans[k:]...)
+					return
+				}
+				outs[i].done = append(outs[i].done, chunkDone{
+					sp:      sp,
+					partial: resp.Partial,
+					elapsed: time.Duration(resp.ElapsedNs),
+				})
+			}
+		}(i, spans)
+	}
+	wg.Wait()
+	return outs
+}
+
+// callChunk runs one span on worker i with deadline, bounded retry,
+// and exponential backoff. Transport failures (timeout, disconnect,
+// corrupt frame) re-dial and re-issue — safe because tasks are pure
+// and only the final decoded response is accounted. Application
+// errors reported by the worker are returned immediately: the worker
+// answered, retrying the same request cannot help.
+func (r *run) callChunk(i int, sp span) (response, error) {
+	w := r.workers[i]
+	var lastErr error
+	for attempt := 0; attempt <= r.retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(r.backoff << (attempt - 1))
+			r.stats[i].Retries++
+			fresh, err := dialWorker(w.addr)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			w.adopt(fresh)
+		}
+		resp, err := w.call(r.task, sp.lo, sp.hi, r.arg, false, r.timeout)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		var re *remoteError
+		if errors.As(err, &re) {
+			return response{}, err
+		}
+		w.closeConn()
+	}
+	return response{}, lastErr
+}

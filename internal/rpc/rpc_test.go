@@ -170,12 +170,12 @@ func TestWorkerDisconnectSurfaces(t *testing.T) {
 	}
 	defer pool.Close()
 	srv.Close()
-	// Give the close a moment to reach the connection.
-	time.Sleep(10 * time.Millisecond)
-	// Existing connections survive a listener close; force the error by
-	// closing the pool-side socket and running.
-	pool.workers[0].conn.Close()
-	if _, _, err := pool.Run("count", 1000, 0, RunOptions{}); err == nil {
+	// Close tears down the connection server-side too; make the
+	// failure unambiguous by closing the pool-side socket as well. The
+	// pool re-dials, finds the listener gone, and must surface an
+	// error rather than hang.
+	pool.workers[0].closeConn()
+	if _, _, err := pool.Run("count", 1000, 0, RunOptions{MaxRetries: 1, RetryBackoff: time.Millisecond}); err == nil {
 		t.Error("run over closed connection succeeded")
 	}
 }
