@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 vet race check
+.PHONY: all tier1 vet race check results
 
 all: check
 
@@ -25,3 +25,8 @@ race-fast:
 	$(GO) test -race ./internal/rpc/... ./internal/core/... ./internal/cluster/... ./internal/apportion/...
 
 check: tier1 vet race
+
+# Regenerate the full evaluation output (not checked in — takes
+# minutes; see EXPERIMENTS.md for the committed summary).
+results:
+	$(GO) run ./cmd/hetbench -json results_full.json | tee results_full.txt

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,19 +23,73 @@ import (
 
 func main() {
 	var (
-		quick = flag.Bool("quick", false, "run reduced problem sizes on a smaller platform")
-		only  = flag.String("run", "", "comma-separated experiments: fig1,fig4,tbl2,tbl3,fig6,fig7,fig8,fig9,overhead,ablation (default: all)")
-		setup = flag.Bool("setup", false, "print the simulated platform (Table 1) and exit")
-		scale = flag.Float64("scale", 0, "override the benchmark scale factor")
+		quick   = flag.Bool("quick", false, "run reduced problem sizes on a smaller platform")
+		only    = flag.String("run", "", "comma-separated experiments: fig1,fig4,tbl2,tbl3,fig6,fig7,fig8,fig9,overhead,ablation (default: all)")
+		setup   = flag.Bool("setup", false, "print the simulated platform (Table 1) and exit")
+		scale   = flag.Float64("scale", 0, "override the benchmark scale factor")
+		jsonOut = flag.String("json", "", `also write results as JSON to this file ("-" = stdout; durations are nanoseconds)`)
 	)
 	flag.Parse()
-	if err := run(*quick, *only, *setup, *scale); err != nil {
+	if err := run(*quick, *only, *setup, *scale, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "hetbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(quick bool, only string, setup bool, scale float64) error {
+// Report is the -json output: one entry per selected experiment, keyed
+// by the -run names. time.Duration fields serialize as nanoseconds.
+type Report struct {
+	Fig1     []experiments.Fig1Row                `json:"fig1,omitempty"`
+	Fig4     []experiments.Fig4Point              `json:"fig4,omitempty"`
+	Tbl2     []experiments.Table2Row              `json:"tbl2,omitempty"`
+	Tbl3     []experiments.Table3Row              `json:"tbl3,omitempty"`
+	Fig6     *experiments.Fig6                    `json:"fig6,omitempty"`
+	Fig7     *Fig7Report                          `json:"fig7,omitempty"`
+	Fig8     *Fig8Report                          `json:"fig8,omitempty"`
+	Fig9     *Fig9Report                          `json:"fig9,omitempty"`
+	Overhead []experiments.OverheadRow            `json:"overhead,omitempty"`
+	Ablation map[string][]experiments.AblationRow `json:"ablation,omitempty"`
+}
+
+// Fig7Report pairs the fault-period rows with the threshold they are
+// judged against.
+type Fig7Report struct {
+	Rows      []experiments.Fig7Row `json:"rows"`
+	Threshold int64                 `json:"threshold_ns"`
+}
+
+// Fig8Report pairs the miss-rate rows with the node-selection
+// threshold.
+type Fig8Report struct {
+	Rows      []experiments.Fig8Row `json:"rows"`
+	Threshold float64               `json:"misses_per_kinst_threshold"`
+}
+
+// Fig9Report pairs the TCP/IP case-study rows with that protocol's
+// threshold.
+type Fig9Report struct {
+	Rows      []experiments.Fig9Row `json:"rows"`
+	Threshold int64                 `json:"threshold_ns"`
+}
+
+func writeReport(rep *Report, path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("JSON report written to %s\n", path)
+	return nil
+}
+
+func run(quick bool, only string, setup bool, scale float64, jsonOut string) error {
 	if setup {
 		printSetup()
 		return nil
@@ -55,11 +110,13 @@ func run(quick bool, only string, setup bool, scale float64) error {
 	}
 	selected := func(name string) bool { return len(want) == 0 || want[name] }
 
+	var rep Report
 	if selected("fig1") {
 		rows, err := s.Figure1()
 		if err != nil {
 			return err
 		}
+		rep.Fig1 = rows
 		fmt.Println(experiments.RenderFigure1(rows))
 	}
 	if selected("fig4") {
@@ -67,6 +124,7 @@ func run(quick bool, only string, setup bool, scale float64) error {
 		if err != nil {
 			return err
 		}
+		rep.Fig4 = points
 		fmt.Println(experiments.RenderFigure4(points))
 	}
 	if selected("tbl2") {
@@ -74,6 +132,7 @@ func run(quick bool, only string, setup bool, scale float64) error {
 		if err != nil {
 			return err
 		}
+		rep.Tbl2 = rows
 		fmt.Println(experiments.RenderTable2(rows))
 	}
 	if selected("tbl3") {
@@ -81,6 +140,7 @@ func run(quick bool, only string, setup bool, scale float64) error {
 		if err != nil {
 			return err
 		}
+		rep.Tbl3 = rows
 		fmt.Println(experiments.RenderTable3(rows))
 	}
 	var fig6 experiments.Fig6
@@ -94,6 +154,7 @@ func run(quick bool, only string, setup bool, scale float64) error {
 		haveFig6 = true
 	}
 	if selected("fig6") {
+		rep.Fig6 = &fig6
 		fmt.Println(experiments.RenderFigure6(fig6))
 	}
 	if selected("fig7") {
@@ -101,6 +162,7 @@ func run(quick bool, only string, setup bool, scale float64) error {
 		if err != nil {
 			return err
 		}
+		rep.Fig7 = &Fig7Report{Rows: rows, Threshold: int64(th)}
 		fmt.Println(experiments.RenderFigure7(rows, th))
 	}
 	if selected("fig8") {
@@ -108,6 +170,7 @@ func run(quick bool, only string, setup bool, scale float64) error {
 		if err != nil {
 			return err
 		}
+		rep.Fig8 = &Fig8Report{Rows: rows, Threshold: th}
 		fmt.Println(experiments.RenderFigure8(rows, th))
 	}
 	if selected("fig9") {
@@ -115,22 +178,29 @@ func run(quick bool, only string, setup bool, scale float64) error {
 		if err != nil {
 			return err
 		}
+		rep.Fig9 = &Fig9Report{Rows: rows, Threshold: int64(th)}
 		fmt.Println(experiments.RenderFigure9(rows, th))
 	}
 	if selected("overhead") && haveFig6 {
-		fmt.Println(experiments.RenderOverheads(experiments.ProbeOverhead(fig6)))
+		rep.Overhead = experiments.ProbeOverhead(fig6)
+		fmt.Println(experiments.RenderOverheads(rep.Overhead))
 	}
 	if selected("ablation") {
 		rows, err := s.AblationHierarchy()
 		if err != nil {
 			return err
 		}
+		rep.Ablation = map[string][]experiments.AblationRow{"hierarchy": rows}
 		fmt.Println(experiments.RenderAblation("Ablation — two-level thread hierarchy (kmeans, cross-node dynamic)", rows))
 		rows, err = s.AblationSettling()
 		if err != nil {
 			return err
 		}
+		rep.Ablation["settling"] = rows
 		fmt.Println(experiments.RenderAblation("Ablation — deterministic probe distribution (blackscholes, 12 rounds)", rows))
+	}
+	if jsonOut != "" {
+		return writeReport(&rep, jsonOut)
 	}
 	return nil
 }

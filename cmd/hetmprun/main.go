@@ -25,6 +25,7 @@ import (
 	"hetmp/internal/interconnect"
 	"hetmp/internal/kernels"
 	"hetmp/internal/rpc"
+	"hetmp/internal/telemetry"
 )
 
 func main() {
@@ -35,6 +36,9 @@ func main() {
 		scale    = flag.Float64("scale", 0, "problem scale override")
 		quick    = flag.Bool("quick", false, "reduced platform")
 		list     = flag.Bool("list", false, "list benchmarks and exit")
+
+		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON file of the run (load in chrome://tracing or Perfetto)")
+		metricsOut = flag.String("metrics", "", "write a Prometheus text-format metrics dump of the run")
 
 		rpcAddrs    = flag.String("rpc", "", "comma-separated worker addresses: run -task over real RPC workers instead of the simulator")
 		task        = flag.String("task", "blackscholes", "registered task name for -rpc mode")
@@ -52,11 +56,18 @@ func main() {
 		}
 		return
 	}
+	var tel *telemetry.Telemetry
+	if *traceOut != "" || *metricsOut != "" {
+		tel = telemetry.New(telemetry.Options{})
+	}
 	var err error
 	if *rpcAddrs != "" {
-		err = runRPC(*rpcAddrs, *task, *n, *arg, *probe, *callTimeout, *retries, *redial)
+		err = runRPC(*rpcAddrs, *task, *n, *arg, *probe, *callTimeout, *retries, *redial, tel)
 	} else {
-		err = run(*bench, *config, *protocol, *scale, *quick)
+		err = run(*bench, *config, *protocol, *scale, *quick, tel)
+	}
+	if err == nil {
+		err = writeTelemetry(tel, *traceOut, *metricsOut)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hetmprun:", err)
@@ -64,10 +75,48 @@ func main() {
 	}
 }
 
+// writeTelemetry exports the run's spans and metrics to the requested
+// files.
+func writeTelemetry(tel *telemetry.Telemetry, traceOut, metricsOut string) error {
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := tel.Tracer().WriteTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s (%d spans", traceOut, tel.Tracer().Len())
+		if d := tel.Tracer().Dropped(); d > 0 {
+			fmt.Printf(", %d dropped", d)
+		}
+		fmt.Println(")")
+	}
+	if metricsOut != "" {
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			return err
+		}
+		if err := tel.Metrics().WritePrometheus(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("metrics written to %s\n", metricsOut)
+	}
+	return nil
+}
+
 // runRPC distributes a task over real workers and reports the outcome,
 // degradation included: a run that lost workers still prints its result
 // alongside each casualty's failure.
-func runRPC(addrList, task string, n int, arg, probe float64, callTimeout time.Duration, retries int, redial time.Duration) error {
+func runRPC(addrList, task string, n int, arg, probe float64, callTimeout time.Duration, retries int, redial time.Duration, tel *telemetry.Telemetry) error {
 	var addrs []string
 	for _, a := range strings.Split(addrList, ",") {
 		if a = strings.TrimSpace(a); a != "" {
@@ -80,6 +129,7 @@ func runRPC(addrList, task string, n int, arg, probe float64, callTimeout time.D
 	}
 	defer pool.Close()
 	pool.RedialInterval = redial
+	pool.Telemetry = tel
 	fmt.Printf("connected to workers: %v\n", pool.Workers())
 
 	start := time.Now()
@@ -108,7 +158,7 @@ func printWorkerStats(stats []rpc.WorkerStats) {
 	}
 }
 
-func run(bench, config, protocol string, scale float64, quick bool) error {
+func run(bench, config, protocol string, scale float64, quick bool, tel *telemetry.Telemetry) error {
 	s := experiments.Default()
 	if quick {
 		s = experiments.Quick()
@@ -116,6 +166,7 @@ func run(bench, config, protocol string, scale float64, quick bool) error {
 	if scale > 0 {
 		s.Scale = scale
 	}
+	s.Telemetry = tel
 	proto := interconnect.RDMA56()
 	if protocol == "tcpip" {
 		proto = interconnect.TCPIP()

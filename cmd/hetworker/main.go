@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -26,13 +27,15 @@ import (
 	"time"
 
 	"hetmp/internal/rpc"
+	"hetmp/internal/telemetry"
 )
 
 func main() {
 	var (
-		listen   = flag.String("listen", ":7001", "address to listen on")
-		name     = flag.String("name", "", "worker name reported to pools (default: listen address)")
-		throttle = flag.Duration("throttle", 0, "extra delay per 1000 iterations (emulates a slower node)")
+		listen    = flag.String("listen", ":7001", "address to listen on")
+		name      = flag.String("name", "", "worker name reported to pools (default: listen address)")
+		throttle  = flag.Duration("throttle", 0, "extra delay per 1000 iterations (emulates a slower node)")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics (Prometheus text) and /trace (Chrome trace JSON) on this HTTP address")
 
 		dropAfter    = flag.Int("fault-drop-after", 0, "close the connection instead of serving the Nth request onward (0 = off)")
 		dropCount    = flag.Int("fault-drop-count", 0, "with -fault-drop-after, only drop this many requests (0 = all)")
@@ -51,19 +54,33 @@ func main() {
 			CorruptAfter: *corruptAfter,
 		}
 	}
-	if err := run(*listen, *name, *throttle, fault); err != nil {
+	if err := run(*listen, *name, *throttle, fault, *debugAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "hetworker:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, name string, throttle time.Duration, fault *rpc.FaultConfig) error {
+func run(listen, name string, throttle time.Duration, fault *rpc.FaultConfig, debugAddr string) error {
 	rpc.RegisterBuiltins()
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		return err
 	}
-	srv := &rpc.Server{Name: name, Cores: runtime.GOMAXPROCS(0), Throttle: throttle, Fault: fault}
+	var tel *telemetry.Telemetry
+	if debugAddr != "" {
+		tel = telemetry.New(telemetry.Options{})
+		dln, err := net.Listen("tcp", debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		go func() {
+			if err := http.Serve(dln, telemetry.Handler(tel)); err != nil {
+				fmt.Fprintln(os.Stderr, "hetworker: debug server:", err)
+			}
+		}()
+		fmt.Printf("hetworker %q debug endpoint on http://%s/metrics\n", name, dln.Addr())
+	}
+	srv := &rpc.Server{Name: name, Cores: runtime.GOMAXPROCS(0), Throttle: throttle, Fault: fault, Telemetry: tel}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

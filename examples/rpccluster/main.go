@@ -12,10 +12,12 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"os"
 	"runtime"
 	"time"
 
 	"hetmp/internal/rpc"
+	"hetmp/internal/telemetry"
 )
 
 func main() {
@@ -55,6 +57,8 @@ func run() error {
 		return err
 	}
 	defer pool.Close()
+	tel := telemetry.New(telemetry.Options{})
+	pool.Telemetry = tel
 	fmt.Printf("connected to workers: %v\n", pool.Workers())
 
 	const n = 2_000_000
@@ -79,5 +83,12 @@ func run() error {
 			s.Retries, s.Redistributed, state)
 	}
 	fmt.Println("the flaky worker's span was re-executed by the survivors; the total is exact because tasks are pure")
+
+	// The pool recorded every retry, death and redistributed span into
+	// its telemetry registry — dump it in Prometheus text format.
+	fmt.Println("\n--- pool metrics (Prometheus text format) ---")
+	if err := tel.Metrics().WritePrometheus(os.Stdout); err != nil {
+		return err
+	}
 	return nil
 }

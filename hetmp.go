@@ -29,12 +29,14 @@
 package hetmp
 
 import (
+	"net/http"
 	"time"
 
 	"hetmp/internal/cluster"
 	"hetmp/internal/core"
 	"hetmp/internal/interconnect"
 	"hetmp/internal/machine"
+	"hetmp/internal/telemetry"
 )
 
 // Core runtime types (see internal/core for full documentation).
@@ -74,6 +76,26 @@ type (
 	// InterconnectSpec models the link protocol between nodes.
 	InterconnectSpec = interconnect.Spec
 )
+
+// Telemetry types (see internal/telemetry). Pass one Telemetry instance
+// in both Options.Telemetry and SimConfig.Telemetry to capture spans
+// and metrics from every layer of a run; nil disables collection.
+type (
+	// Telemetry bundles a span tracer and a metrics registry.
+	Telemetry = telemetry.Telemetry
+	// TelemetryOptions sizes a Telemetry instance.
+	TelemetryOptions = telemetry.Options
+)
+
+// NewTelemetry creates an enabled telemetry instance. Export spans
+// with Tracer().WriteTrace (Chrome trace-event JSON) and metrics with
+// Metrics().WritePrometheus (Prometheus text format), or serve both
+// over HTTP with TelemetryHandler.
+func NewTelemetry(opts TelemetryOptions) *Telemetry { return telemetry.New(opts) }
+
+// TelemetryHandler returns an http.Handler serving /metrics and /trace
+// for the given telemetry instance (hetworker's -debug-addr endpoint).
+func TelemetryHandler(t *Telemetry) http.Handler { return telemetry.Handler(t) }
 
 // New builds a runtime on the given cluster.
 func New(cl Cluster, opts Options) *Runtime { return core.New(cl, opts) }

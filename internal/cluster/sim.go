@@ -10,6 +10,7 @@ import (
 	"hetmp/internal/machine"
 	"hetmp/internal/perf"
 	"hetmp/internal/simtime"
+	"hetmp/internal/telemetry"
 )
 
 // SimConfig configures the simulated cluster backend.
@@ -26,6 +27,11 @@ type SimConfig struct {
 	MigrationCost time.Duration
 	// Jitter enables the protocol's latency jitter.
 	Jitter bool
+	// Telemetry, when non-nil, receives interconnect latency
+	// histograms and per-node DSM counters from this cluster (the
+	// runtime layers its own spans and metrics on top via
+	// core.Options.Telemetry).
+	Telemetry *telemetry.Telemetry
 }
 
 // Sim is the virtual-time simulated cluster. It may execute exactly one
@@ -54,6 +60,7 @@ func NewSim(cfg SimConfig) (*Sim, error) {
 	if cfg.Protocol.Name == "" {
 		cfg.Protocol = interconnect.RDMA56()
 	}
+	cfg.Protocol = cfg.Protocol.WithTelemetry(cfg.Telemetry)
 	eng := simtime.NewEngine(cfg.Seed)
 	var rng = eng.Rand()
 	if !cfg.Jitter {
@@ -63,6 +70,7 @@ func NewSim(cfg SimConfig) (*Sim, error) {
 	if err != nil {
 		return nil, err
 	}
+	space.SetTelemetry(cfg.Telemetry)
 	llcs := make([]*perf.LLC, len(cfg.Platform.Nodes))
 	membw := make([]*simtime.Resource, len(cfg.Platform.Nodes))
 	for i, n := range cfg.Platform.Nodes {

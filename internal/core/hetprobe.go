@@ -1,10 +1,13 @@
 package core
 
 import (
+	"math"
 	"sort"
+	"strconv"
 	"time"
 
 	"hetmp/internal/cluster"
+	"hetmp/internal/telemetry"
 )
 
 // probeDispatch hands each worker a constant-size, deterministically
@@ -94,6 +97,10 @@ func (a *App) runHetProbe(regionID string, n int, spec HetProbeSpec, body Body, 
 		results: make([]measurement, fullTeam.total),
 		sched:   &probeDispatch{chunk: chunk, rotate: rotate, total: fullTeam.total},
 	}
+	var probeStart time.Duration
+	if rt.tracer != nil {
+		probeStart = a.env.Now()
+	}
 	fullTeam.dispatch(a.env, probeDesc)
 	var probePartial any
 	if red != nil {
@@ -107,6 +114,12 @@ func (a *App) runHetProbe(regionID string, n int, spec HetProbeSpec, body Body, 
 	ent.decision = rt.decide(ent, spec)
 	ent.invocations++
 	rt.logf("hetprobe %s: invocation %d: %s", regionID, ent.invocations, ent.decision)
+	if tr := rt.tracer; tr != nil {
+		tr.Emit(workerTrack(a.env.Node(), -1), "probe "+regionID, probeStart, a.env.Now(),
+			telemetry.Arg{Key: "iterations", Val: strconv.Itoa(probeIters)})
+		rt.opts.Telemetry.Metrics().Counter("hetmp_hetprobe_probes_total").Inc()
+		rt.recordDecision(a.env, regionID, ent.decision)
+	}
 
 	// Distribute the remaining iterations per the decision, measuring
 	// them too: the cache-miss metric must reflect the whole region,
@@ -151,12 +164,36 @@ func (a *App) runHetProbe(regionID string, n int, spec HetProbeSpec, body Body, 
 			if !ent.decision.CrossNode {
 				rt.logf("hetprobe %s: adaptive monitor: post-probe fault period %v below threshold, falling back to single node",
 					regionID, remPeriod)
+				if rt.tracer != nil {
+					rt.opts.Telemetry.Metrics().Counter("hetmp_hetprobe_adaptive_fallbacks_total").Inc()
+				}
 			}
 		}
 		ent.cumTime += remTime
 	} else if red != nil {
 		red.out = probePartial
 	}
+}
+
+// recordDecision publishes one HetProbe decision: an outcome-labeled
+// counter, per-region measurement gauges, and an instant event on the
+// master's trace track. Only called when telemetry is enabled.
+func (rt *Runtime) recordDecision(e cluster.Env, regionID string, d Decision) {
+	outcome := "single-node"
+	if d.CrossNode {
+		outcome = "cross-node"
+	}
+	m := rt.opts.Telemetry.Metrics()
+	m.Counter("hetmp_hetprobe_decisions_total", telemetry.L("outcome", outcome)).Inc()
+	period := math.Inf(1)
+	if d.FaultPeriod != infinitePeriod {
+		period = d.FaultPeriod.Seconds()
+	}
+	m.Gauge("hetmp_hetprobe_fault_period_seconds", telemetry.L("region", regionID)).Set(period)
+	m.Gauge("hetmp_hetprobe_misses_per_kinst", telemetry.L("region", regionID)).Set(d.MissesPerKinst)
+	rt.tracer.Instant(workerTrack(e.Node(), -1), "decision "+regionID, e.Now(),
+		telemetry.Arg{Key: "outcome", Val: outcome},
+		telemetry.Arg{Key: "detail", Val: d.String()})
 }
 
 func clampFraction(f float64) int {

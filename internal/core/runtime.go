@@ -12,9 +12,11 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"time"
 
 	"hetmp/internal/cluster"
+	"hetmp/internal/telemetry"
 )
 
 // Body is a work-sharing loop body covering iterations [lo, hi).
@@ -80,6 +82,13 @@ type Options struct {
 	NodeThresholds map[int]time.Duration
 	// Logf, when non-nil, receives runtime decision traces.
 	Logf func(format string, args ...any)
+	// Telemetry, when non-nil, receives spans (probe windows, worker
+	// region execution, decisions) and metrics (iterations per node,
+	// decision outcomes, region summaries) from the runtime. Pass the
+	// same instance in cluster.SimConfig.Telemetry to also capture the
+	// DSM and interconnect layers. Nil disables collection; the
+	// instrumentation then costs one pointer test per site.
+	Telemetry *telemetry.Telemetry
 }
 
 // DefaultOptions returns the paper's default tuning.
@@ -111,16 +120,54 @@ type Runtime struct {
 	opts  Options
 	cache *probeCache
 	teams map[string]*team
+
+	// Telemetry handles, pre-resolved at construction so hot paths
+	// never touch the registry. All nil when telemetry is disabled
+	// (every use is nil-safe, so the only per-site cost is a nil test).
+	tracer    *telemetry.Tracer
+	iterCtrs  []*telemetry.Counter // per node: iterations executed
+	regionCtr map[string]*telemetry.Counter
 }
 
 // New builds a runtime on the given cluster.
 func New(cl cluster.Cluster, opts Options) *Runtime {
-	return &Runtime{
+	rt := &Runtime{
 		cl:    cl,
 		opts:  opts.withDefaults(),
 		cache: newProbeCache(),
 		teams: make(map[string]*team),
 	}
+	if tel := rt.opts.Telemetry; tel.Enabled() {
+		rt.tracer = tel.Tracer()
+		m := tel.Metrics()
+		specs := cl.NodeSpecs()
+		rt.iterCtrs = make([]*telemetry.Counter, len(specs))
+		for i, s := range specs {
+			rt.iterCtrs[i] = m.Counter("hetmp_iterations_total", telemetry.L("node", s.Name))
+			rt.tracer.NameTrack(workerTrack(i, -1), "node "+strconv.Itoa(i)+" ("+s.Name+")", "master")
+		}
+		rt.regionCtr = make(map[string]*telemetry.Counter)
+	}
+	return rt
+}
+
+// workerTrack maps a team thread to its trace track: one process per
+// node, thread 0 for the master, local worker w at thread w+1.
+func workerTrack(node, local int) telemetry.Track {
+	return telemetry.Track{Pid: node, Tid: local + 1}
+}
+
+// regionsTotal returns (caching) the per-schedule region counter.
+func (rt *Runtime) regionsTotal(sched string) *telemetry.Counter {
+	if rt.regionCtr == nil {
+		return nil
+	}
+	c, ok := rt.regionCtr[sched]
+	if !ok {
+		c = rt.opts.Telemetry.Metrics().Counter("hetmp_regions_total", telemetry.L("sched", sched))
+		rt.regionCtr[sched] = c
+	}
+	return c
 }
 
 // Options returns the effective options.
@@ -279,6 +326,15 @@ func (a *App) parallel(regionID string, n int, sched Schedule, body Body, red *r
 	}
 
 	rt := a.rt
+	if tr := rt.tracer; tr != nil {
+		rt.regionsTotal(sched.Name()).Inc()
+		t0 := a.env.Now()
+		defer func() {
+			tr.Emit(workerTrack(a.env.Node(), -1), "region "+regionID, t0, a.env.Now(),
+				telemetry.Arg{Key: "sched", Val: sched.Name()},
+				telemetry.Arg{Key: "iterations", Val: strconv.Itoa(n)})
+		}()
+	}
 	switch s := sched.(type) {
 	case StaticSpec:
 		t := rt.teamFor(a.env, rt.allNodes())

@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"hetmp/internal/cluster"
 	"hetmp/internal/perf"
+	"hetmp/internal/telemetry"
 )
 
 // workerID identifies one team thread.
@@ -112,6 +114,8 @@ func newTeam(rt *Runtime, master cluster.Env, nodes []int) *team {
 		for i := 0; i < t.perNode[n]; i++ {
 			w := workerID{node: n, local: i, flat: flat}
 			flat++
+			rt.tracer.NameTrack(workerTrack(n, i),
+				fmt.Sprintf("node %d (%s)", n, specs[n].Name), fmt.Sprintf("worker %d", i))
 			h := master.Spawn(n, fmt.Sprintf("w%d.%d", n, i), func(e cluster.Env) {
 				t.workerLoop(e, w)
 			})
@@ -134,17 +138,31 @@ func (t *team) workerLoop(e cluster.Env, w workerID) {
 		if desc.reduce != nil {
 			ws.acc = desc.reduce.init()
 		}
+		tr := t.rt.tracer
 		if desc.measure {
 			before := e.Counters()
 			t0 := e.Now()
 			desc.sched.runWorker(e, w, t, desc, ws)
+			end := e.Now()
 			desc.results[w.flat] = measurement{
 				iters:   ws.iters,
-				elapsed: e.Now() - t0,
+				elapsed: end - t0,
 				delta:   e.Counters().Sub(before),
 			}
+			if tr != nil {
+				tr.Emit(workerTrack(w.node, w.local), "probe-chunk", t0, end,
+					telemetry.Arg{Key: "iterations", Val: strconv.Itoa(ws.iters)})
+			}
+		} else if tr != nil {
+			t0 := e.Now()
+			desc.sched.runWorker(e, w, t, desc, ws)
+			tr.Emit(workerTrack(w.node, w.local), "chunks", t0, e.Now(),
+				telemetry.Arg{Key: "iterations", Val: strconv.Itoa(ws.iters)})
 		} else {
 			desc.sched.runWorker(e, w, t, desc, ws)
+		}
+		if ctrs := t.rt.iterCtrs; ctrs != nil {
+			ctrs[w.node].Add(int64(ws.iters))
 		}
 		if desc.reduce != nil {
 			t.reduceBuf.storePartial(e, w, ws.acc)

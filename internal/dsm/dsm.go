@@ -21,6 +21,7 @@ import (
 	"hetmp/internal/interconnect"
 	"hetmp/internal/machine"
 	"hetmp/internal/simtime"
+	"hetmp/internal/telemetry"
 )
 
 // PageSize is the sharing granularity, matching the paper's 4 KB pages.
@@ -68,6 +69,45 @@ type Space struct {
 	regions  []*Region
 	nextAddr int64
 	stats    []NodeStats
+	tel      *telHooks
+}
+
+// telHooks caches per-node metric handles so the fault path avoids
+// registry lookups; nil when telemetry is disabled.
+type telHooks struct {
+	readFaults    []*telemetry.Counter
+	writeFaults   []*telemetry.Counter
+	invalidations []*telemetry.Counter
+	bytesIn       []*telemetry.Counter
+	stall         []*telemetry.Histogram
+}
+
+// SetTelemetry mirrors the per-node NodeStats counters into the given
+// telemetry registry (hetmp_dsm_*_total counters and the
+// hetmp_dsm_stall_seconds histogram, labeled by node). Passing a nil
+// Telemetry disables mirroring.
+func (s *Space) SetTelemetry(t *telemetry.Telemetry) {
+	if !t.Enabled() {
+		s.tel = nil
+		return
+	}
+	m := t.Metrics()
+	h := &telHooks{
+		readFaults:    make([]*telemetry.Counter, len(s.nodes)),
+		writeFaults:   make([]*telemetry.Counter, len(s.nodes)),
+		invalidations: make([]*telemetry.Counter, len(s.nodes)),
+		bytesIn:       make([]*telemetry.Counter, len(s.nodes)),
+		stall:         make([]*telemetry.Histogram, len(s.nodes)),
+	}
+	for i, n := range s.nodes {
+		lbl := telemetry.L("node", n.Name)
+		h.readFaults[i] = m.Counter("hetmp_dsm_read_faults_total", lbl)
+		h.writeFaults[i] = m.Counter("hetmp_dsm_write_faults_total", lbl)
+		h.invalidations[i] = m.Counter("hetmp_dsm_invalidations_total", lbl)
+		h.bytesIn[i] = m.Counter("hetmp_dsm_bytes_in_total", lbl)
+		h.stall[i] = m.Histogram("hetmp_dsm_stall_seconds", lbl)
+	}
+	s.tel = h
 }
 
 // NewSpace creates a coherence domain for the given nodes and protocol.
@@ -260,13 +300,13 @@ func (r *Region) accessPage(p *simtime.Proc, node int, pg int64, write bool) Acc
 				continue
 			}
 			if needsData && other == owner {
-				s.stats[other].Invalidations++
+				s.noteInvalidation(other)
 				continue
 			}
 			inv := s.proto.ControlMessage(s.nodes[node], s.nodes[other])
 			p.Advance(inv.Inline)
 			s.handlers[other].Use(p, s.proto.EffectiveOwnerService(inv.Owner))
-			s.stats[other].Invalidations++
+			s.noteInvalidation(other)
 		}
 		st.writer = int8(node)
 		st.copyset = bit
@@ -283,7 +323,27 @@ func (r *Region) accessPage(p *simtime.Proc, node int, pg int64, write bool) Acc
 
 	stall := p.Now() - start
 	s.stats[node].Stall += stall
+	if h := s.tel; h != nil {
+		if write {
+			h.writeFaults[node].Inc()
+		} else {
+			h.readFaults[node].Inc()
+		}
+		if needsData {
+			h.bytesIn[node].Add(PageSize)
+		}
+		h.stall[node].Observe(stall)
+	}
 	return AccessResult{Faults: 1, Stall: stall}
+}
+
+// noteInvalidation bumps both the NodeStats counter and its telemetry
+// mirror for one invalidated copy at node.
+func (s *Space) noteInvalidation(node int) {
+	s.stats[node].Invalidations++
+	if h := s.tel; h != nil {
+		h.invalidations[node].Inc()
+	}
 }
 
 // sourceNode picks the node currently holding a valid copy.

@@ -17,6 +17,7 @@ import (
 	"hetmp/internal/interconnect"
 	"hetmp/internal/kernels"
 	"hetmp/internal/machine"
+	"hetmp/internal/telemetry"
 )
 
 // Config names, matching the paper's work-distribution configurations.
@@ -48,6 +49,10 @@ type Suite struct {
 	Seed int64
 	// Verify runs each kernel's numerical check after each run.
 	Verify bool
+	// Telemetry, when non-nil, is threaded through every Run: the
+	// runtime, DSM and interconnect layers record spans and metrics
+	// into it (hetmprun's -trace/-metrics flags use this).
+	Telemetry *telemetry.Telemetry
 
 	thresholds map[string]time.Duration
 	csrCache   map[string]map[int]float64
@@ -190,6 +195,7 @@ func (s *Suite) Run(bench, config string, proto interconnect.Spec) (Result, erro
 		Protocol:      proto.Scaled(s.TimeScale),
 		Seed:          s.Seed,
 		MigrationCost: time.Duration(200 * float64(time.Microsecond) * s.TimeScale),
+		Telemetry:     s.Telemetry,
 	})
 	if err != nil {
 		return Result{}, err
@@ -197,6 +203,7 @@ func (s *Suite) Run(bench, config string, proto interconnect.Spec) (Result, erro
 	rt := core.New(cl, core.Options{
 		FaultPeriodThreshold: th,
 		ProbeRegionID:        k.ProbeRegion(),
+		Telemetry:            s.Telemetry,
 	})
 	if err := rt.Run(func(a *core.App) { k.Run(a, kernels.Fixed(sched)) }); err != nil {
 		return Result{}, fmt.Errorf("%s/%s: %w", bench, config, err)

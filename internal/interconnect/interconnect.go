@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"hetmp/internal/machine"
+	"hetmp/internal/telemetry"
 )
 
 // referenceHandlerCost is the DSM handler cost the software-overhead
@@ -47,6 +48,29 @@ type Spec struct {
 	// TCP/IP). Kept for reporting; experiments calibrate their own
 	// threshold with the Section 3.2 microbenchmark.
 	PaperFaultPeriodThreshold time.Duration
+
+	// Cached telemetry series handles, installed by WithTelemetry.
+	// Unexported so they ride along with value copies (Scaled and
+	// config plumbing) without appearing in the public configuration
+	// surface; the nil handles are valid nops, so the cost model pays
+	// one nil test per fault when telemetry is off.
+	faultLatency *telemetry.Histogram
+	ctrlLatency  *telemetry.Histogram
+}
+
+// WithTelemetry returns the spec with per-fault latency observation
+// installed: every PageFault and ControlMessage cost computed from the
+// returned copy is recorded into hetmp_interconnect_fault_seconds and
+// hetmp_interconnect_control_seconds (labeled by protocol). A nil
+// (disabled) Telemetry returns the spec unchanged.
+func (s Spec) WithTelemetry(t *telemetry.Telemetry) Spec {
+	if !t.Enabled() {
+		return s
+	}
+	out := s
+	out.faultLatency = t.Metrics().Histogram("hetmp_interconnect_fault_seconds", telemetry.L("proto", s.Name))
+	out.ctrlLatency = t.Metrics().Histogram("hetmp_interconnect_control_seconds", telemetry.L("proto", s.Name))
+	return out
 }
 
 // RDMA56 returns the RDMA-over-InfiniBand protocol model.
@@ -147,21 +171,25 @@ func (s Spec) PageFault(requester, owner machine.NodeSpec, pageBytes int, rng *r
 		req = time.Duration(float64(req) * j)
 		own = time.Duration(float64(own) * j)
 	}
-	return FaultCost{
+	cost := FaultCost{
 		Inline: req + 2*s.OneWayLatency, // request out, data headers back
 		Owner:  own,
 		Wire:   s.TransferTime(pageBytes),
 	}
+	s.faultLatency.Observe(cost.Total())
+	return cost
 }
 
 // ControlMessage returns the cost of a small protocol message (e.g. an
 // invalidation) from one node to another: paid inline by the sender,
 // plus a service component at the receiver.
 func (s Spec) ControlMessage(sender, receiver machine.NodeSpec) FaultCost {
-	return FaultCost{
+	cost := FaultCost{
 		Inline: 2 * s.OneWayLatency,
 		Owner:  time.Duration(float64(s.OwnerSoftBase) * scale(receiver) / 2),
 	}
+	s.ctrlLatency.Observe(cost.Total())
+	return cost
 }
 
 // EffectiveOwnerService divides the owner-side service time across the

@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"hetmp/internal/apportion"
+	"hetmp/internal/telemetry"
 )
 
 // Task computes a partial result over iterations [lo, hi). arg is an
@@ -141,6 +142,10 @@ type Server struct {
 	// Fault, when non-nil, injects failures (see FaultConfig). Set it
 	// before Serve.
 	Fault *FaultConfig
+	// Telemetry, when non-nil, records served requests, executed
+	// iterations, task latency, and injected faults — the data behind
+	// hetworker's -debug-addr endpoint. Set it before Serve.
+	Telemetry *telemetry.Telemetry
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -154,6 +159,32 @@ type Server struct {
 // Serve accepts connections on ln until Close is called. It returns
 // nil after a clean shutdown. If Close was already called, Serve
 // closes ln and returns nil immediately.
+// serverLabel is the telemetry label identifying this worker.
+func (s *Server) serverLabel() telemetry.Label {
+	name := s.Name
+	if name == "" {
+		name = "worker"
+	}
+	return telemetry.L("worker", name)
+}
+
+// registerMetrics pre-creates the server's metric series so a scrape
+// sees them (at zero) before any request or fault has happened.
+func (s *Server) registerMetrics() {
+	if !s.Telemetry.Enabled() {
+		return
+	}
+	m := s.Telemetry.Metrics()
+	lbl := s.serverLabel()
+	s.Telemetry.Tracer().NameTrack(telemetry.Track{}, "hetworker "+lbl.Val, "tasks")
+	m.Counter("hetmp_rpc_server_requests_total", lbl)
+	m.Counter("hetmp_rpc_server_iterations_total", lbl)
+	m.Histogram("hetmp_rpc_server_task_seconds", lbl)
+	for _, kind := range []string{"drop", "stall", "corrupt"} {
+		m.Counter("hetmp_rpc_server_faults_injected_total", lbl, telemetry.L("kind", kind))
+	}
+}
+
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	if s.closed {
@@ -163,6 +194,7 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 	s.ln = ln
 	s.mu.Unlock()
+	s.registerMetrics()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -257,12 +289,16 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 		seq := int(s.served.Add(1))
+		m := s.Telemetry.Metrics()
+		m.Counter("hetmp_rpc_server_requests_total", s.serverLabel()).Inc()
 		f := s.Fault
 		if f != nil && f.DropAfter > 0 && seq >= f.DropAfter &&
 			(f.DropCount <= 0 || seq < f.DropAfter+f.DropCount) {
+			m.Counter("hetmp_rpc_server_faults_injected_total", s.serverLabel(), telemetry.L("kind", "drop")).Inc()
 			return // hang up without replying
 		}
 		if f != nil && f.StallFor > 0 && seq >= max(1, f.StallAfter) {
+			m.Counter("hetmp_rpc_server_faults_injected_total", s.serverLabel(), telemetry.L("kind", "stall")).Inc()
 			select {
 			case <-time.After(f.StallFor):
 			case <-s.doneChan():
@@ -275,6 +311,7 @@ func (s *Server) handle(conn net.Conn) {
 				resp.ElapsedNs = 0
 			}
 			if f.CorruptAfter > 0 && seq >= f.CorruptAfter {
+				m.Counter("hetmp_rpc_server_faults_injected_total", s.serverLabel(), telemetry.L("kind", "corrupt")).Inc()
 				resp.ID += 1 << 20
 			}
 		}
@@ -298,13 +335,27 @@ func (s *Server) execute(req request) response {
 	if !ok {
 		return response{ID: req.ID, Err: fmt.Sprintf("unknown task %q", req.Task)}
 	}
+	var spanStart time.Duration
+	tr := s.Telemetry.Tracer()
+	if tr != nil {
+		spanStart = tr.WallNow()
+	}
 	start := time.Now()
 	partial := task(req.Lo, req.Hi, req.Arg)
 	if s.Throttle > 0 {
 		iters := req.Hi - req.Lo
 		time.Sleep(s.Throttle * time.Duration(iters) / 1000)
 	}
-	return response{ID: req.ID, Partial: partial, ElapsedNs: time.Since(start).Nanoseconds()}
+	elapsed := time.Since(start)
+	if tr != nil {
+		tr.Emit(telemetry.Track{Pid: 0, Tid: 0}, "task "+req.Task, spanStart, tr.WallNow(),
+			telemetry.Arg{Key: "lo", Val: fmt.Sprint(req.Lo)},
+			telemetry.Arg{Key: "hi", Val: fmt.Sprint(req.Hi)})
+		m := s.Telemetry.Metrics()
+		m.Counter("hetmp_rpc_server_iterations_total", s.serverLabel()).Add(int64(req.Hi - req.Lo))
+		m.Histogram("hetmp_rpc_server_task_seconds", s.serverLabel()).Observe(elapsed)
+	}
+	return response{ID: req.ID, Partial: partial, ElapsedNs: elapsed.Nanoseconds()}
 }
 
 // remoteError is an application-level error reported by a worker (the
@@ -422,6 +473,10 @@ type Pool struct {
 	// pool is closed; a revived worker rejoins the pool for subsequent
 	// runs. Set it before the first Run.
 	RedialInterval time.Duration
+	// Telemetry, when non-nil, records per-worker chunk spans and the
+	// pool's fault-tolerance metrics (retries, deadline expiries,
+	// worker deaths, redistributed iterations). Set it before Run.
+	Telemetry *telemetry.Telemetry
 
 	mu       sync.Mutex
 	workers  []*worker
@@ -659,11 +714,14 @@ func (p *Pool) Run(task string, n int, arg float64, opts RunOptions) (float64, [
 		alive:   make([]bool, len(workers)),
 		speeds:  make([]float64, len(workers)),
 		stats:   make([]WorkerStats, len(workers)),
+		metrics: p.Telemetry.Metrics(),
+		tracer:  p.Telemetry.Tracer(),
 	}
 	for i, w := range workers {
 		r.alive[i] = true
 		r.speeds[i] = 1
 		r.stats[i] = WorkerStats{Name: w.name, Alive: true}
+		r.tracer.NameTrack(r.workerTrack(i), "pool", "worker "+w.name)
 	}
 	return r.execute(n, opts.ProbeFraction, combine)
 }
@@ -680,6 +738,21 @@ type run struct {
 	alive   []bool
 	speeds  []float64
 	stats   []WorkerStats
+	// metrics and tracer are nil (valid nops) when the pool has no
+	// telemetry attached.
+	metrics *telemetry.Registry
+	tracer  *telemetry.Tracer
+}
+
+// workerTrack is worker i's trace timeline on the pool side (one
+// process, one thread per worker).
+func (r *run) workerTrack(i int) telemetry.Track {
+	return telemetry.Track{Pid: 0, Tid: i + 1}
+}
+
+// workerLabel is worker i's metric label.
+func (r *run) workerLabel(i int) telemetry.Label {
+	return telemetry.L("worker", r.workers[i].name)
 }
 
 // chunkDone is one successfully executed and accounted span.
@@ -787,6 +860,8 @@ func (r *run) fail(i int, err error, lost int) {
 	r.stats[i].Alive = false
 	r.stats[i].Failure = err.Error()
 	r.stats[i].Redistributed += lost
+	r.metrics.Counter("hetmp_rpc_worker_deaths_total", r.workerLabel(i)).Inc()
+	r.metrics.Counter("hetmp_rpc_redistributed_iterations_total", r.workerLabel(i)).Add(int64(lost))
 	r.pool.dropWorker(r.workers[i])
 }
 
@@ -853,11 +928,19 @@ func (r *run) runBatch(assigns [][]span) []workerOutcome {
 		go func(i int, spans []span) {
 			defer wg.Done()
 			for k, sp := range spans {
+				chunkStart := r.tracer.WallNow()
 				resp, err := r.callChunk(i, sp)
 				if err != nil {
 					outs[i].err = err
 					outs[i].failed = append([]span(nil), spans[k:]...)
 					return
+				}
+				if r.tracer != nil {
+					r.tracer.Emit(r.workerTrack(i), "chunk "+r.task, chunkStart, r.tracer.WallNow(),
+						telemetry.Arg{Key: "lo", Val: fmt.Sprint(sp.lo)},
+						telemetry.Arg{Key: "hi", Val: fmt.Sprint(sp.hi)})
+					r.metrics.Counter("hetmp_rpc_iterations_total", r.workerLabel(i)).Add(int64(sp.hi - sp.lo))
+					r.metrics.Histogram("hetmp_rpc_chunk_seconds", r.workerLabel(i)).Observe(time.Duration(resp.ElapsedNs))
 				}
 				outs[i].done = append(outs[i].done, chunkDone{
 					sp:      sp,
@@ -884,6 +967,7 @@ func (r *run) callChunk(i int, sp span) (response, error) {
 		if attempt > 0 {
 			time.Sleep(r.backoff << (attempt - 1))
 			r.stats[i].Retries++
+			r.metrics.Counter("hetmp_rpc_retries_total", r.workerLabel(i)).Inc()
 			fresh, err := dialWorker(w.addr)
 			if err != nil {
 				lastErr = err
@@ -899,6 +983,10 @@ func (r *run) callChunk(i int, sp span) (response, error) {
 		var re *remoteError
 		if errors.As(err, &re) {
 			return response{}, err
+		}
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			r.metrics.Counter("hetmp_rpc_deadline_expiries_total", r.workerLabel(i)).Inc()
 		}
 		w.closeConn()
 	}

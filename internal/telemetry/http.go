@@ -1,0 +1,34 @@
+package telemetry
+
+import (
+	"net/http"
+)
+
+// Handler returns an http.Handler serving the debug endpoints:
+//
+//	/metrics  Prometheus text exposition of the metrics registry
+//	/trace    Chrome trace-event JSON of the span ring buffer
+//
+// It is the implementation behind hetworker's -debug-addr flag, and
+// works with a nil *Telemetry (both endpoints serve valid, empty
+// documents).
+func Handler(t *Telemetry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = t.Metrics().WritePrometheus(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = t.Tracer().WriteTrace(w)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("hetmp telemetry\n\n/metrics  Prometheus text format\n/trace    Chrome trace-event JSON\n"))
+	})
+	return mux
+}

@@ -1,0 +1,277 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one name/value dimension of a metric series.
+type Label struct {
+	Key string
+	Val string
+}
+
+// L builds a Label.
+func L(key, val string) Label { return Label{Key: key, Val: val} }
+
+// Counter is a monotonically increasing integer. The nil Counter is a
+// valid nop.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by d (negative deltas are ignored —
+// counters only go up).
+func (c *Counter) Add(d int64) {
+	if c == nil || d <= 0 {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 that can go up and down. The nil Gauge is a
+// valid nop.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// histBuckets is the number of finite histogram buckets: powers of two
+// of a microsecond, 1 µs … 2^30 µs (≈18 min), plus an implicit +Inf.
+const histBuckets = 31
+
+// Histogram is a log2-bucketed duration histogram. Finite bucket i
+// counts observations ≤ 2^i microseconds; larger observations land in
+// +Inf. The nil Histogram is a valid nop.
+type Histogram struct {
+	counts [histBuckets + 1]atomic.Int64 // last slot is +Inf
+	sumNs  atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	us := d.Microseconds()
+	i := 0
+	for i < histBuckets && us > 1<<i {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumNs.Add(int64(d))
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed durations.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sumNs.Load())
+}
+
+// bucketBound returns the upper bound of finite bucket i in seconds.
+func bucketBound(i int) float64 { return float64(int64(1)<<i) * 1e-6 }
+
+// Registry holds named metric series. Series are created on first use
+// and live for the registry's lifetime; hot paths should look a series
+// up once and keep the returned handle. The nil Registry is a valid
+// nop whose getters return nil handles.
+type Registry struct {
+	mu     sync.Mutex
+	types  map[string]string // family name → "counter"|"gauge"|"histogram"
+	series map[string]any    // full key (name + labels) → handle
+}
+
+// NewRegistry creates an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		types:  make(map[string]string),
+		series: make(map[string]any),
+	}
+}
+
+// seriesKey renders the canonical series identity: name plus sorted
+// labels.
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i].Key < labels[j].Key })
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Key)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(l.Val))
+		sb.WriteString(`"`)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// get returns (creating if absent) the series handle for key,
+// enforcing that a family name is used with a single metric type.
+func (r *Registry) get(name, typ string, labels []Label, mk func() any) any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.types[name]; ok && prev != typ {
+		panic(fmt.Sprintf("telemetry: metric %q registered as both %s and %s", name, prev, typ))
+	}
+	r.types[name] = typ
+	key := seriesKey(name, labels)
+	if h, ok := r.series[key]; ok {
+		return h
+	}
+	h := mk()
+	r.series[key] = h
+	return h
+}
+
+// Counter returns the counter series for name+labels, creating it on
+// first use.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.get(name, "counter", labels, func() any { return new(Counter) }).(*Counter)
+}
+
+// Gauge returns the gauge series for name+labels.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.get(name, "gauge", labels, func() any { return new(Gauge) }).(*Gauge)
+}
+
+// Histogram returns the histogram series for name+labels.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.get(name, "histogram", labels, func() any { return new(Histogram) }).(*Histogram)
+}
+
+// splitKey separates a series key back into family name and the
+// rendered label block (empty when unlabeled).
+func splitKey(key string) (name, labelBlock string) {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i], key[i:]
+	}
+	return key, ""
+}
+
+// mergeLabels appends extra label pairs into an existing rendered
+// label block: `{a="b"}` + `le="+Inf"` → `{a="b",le="+Inf"}`.
+func mergeLabels(block, extra string) string {
+	if block == "" {
+		return "{" + extra + "}"
+	}
+	return block[:len(block)-1] + "," + extra + "}"
+}
+
+// WritePrometheus writes every series in the Prometheus text
+// exposition format (text/plain; version 0.0.4), families sorted by
+// name, one # TYPE line per family.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	keys := make([]string, 0, len(r.series))
+	for k := range r.series {
+		keys = append(keys, k)
+	}
+	handles := make(map[string]any, len(r.series))
+	for k, h := range r.series {
+		handles[k] = h
+	}
+	types := make(map[string]string, len(r.types))
+	for k, v := range r.types {
+		types[k] = v
+	}
+	r.mu.Unlock()
+	sort.Strings(keys)
+
+	var sb strings.Builder
+	lastFamily := ""
+	for _, key := range keys {
+		name, labels := splitKey(key)
+		if name != lastFamily {
+			fmt.Fprintf(&sb, "# TYPE %s %s\n", name, types[name])
+			lastFamily = name
+		}
+		switch h := handles[key].(type) {
+		case *Counter:
+			fmt.Fprintf(&sb, "%s %d\n", key, h.Value())
+		case *Gauge:
+			fmt.Fprintf(&sb, "%s %g\n", key, h.Value())
+		case *Histogram:
+			var cum int64
+			for i := 0; i < histBuckets; i++ {
+				cum += h.counts[i].Load()
+				fmt.Fprintf(&sb, "%s_bucket%s %d\n", name, mergeLabels(labels, fmt.Sprintf(`le="%g"`, bucketBound(i))), cum)
+			}
+			cum += h.counts[histBuckets].Load()
+			fmt.Fprintf(&sb, "%s_bucket%s %d\n", name, mergeLabels(labels, `le="+Inf"`), cum)
+			fmt.Fprintf(&sb, "%s_sum%s %g\n", name, labels, h.Sum().Seconds())
+			fmt.Fprintf(&sb, "%s_count%s %d\n", name, labels, cum)
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,199 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hetmp_test_total", L("node", "0"))
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters only go up
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	// Same name+labels yields the same series.
+	if r.Counter("hetmp_test_total", L("node", "0")) != c {
+		t.Fatal("counter lookup did not return the existing series")
+	}
+	// Label order must not matter.
+	c2 := r.Counter("hetmp_multi_total", L("a", "1"), L("b", "2"))
+	if r.Counter("hetmp_multi_total", L("b", "2"), L("a", "1")) != c2 {
+		t.Fatal("label order changed series identity")
+	}
+
+	g := r.Gauge("hetmp_test_ratio")
+	g.Set(2.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", got)
+	}
+}
+
+func TestMetricTypeConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hetmp_conflict")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering one name as counter and gauge did not panic")
+		}
+	}()
+	r.Gauge("hetmp_conflict")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("hetmp_lat_seconds")
+	h.Observe(500 * time.Nanosecond)  // bucket le=1µs
+	h.Observe(time.Microsecond)       // bucket le=1µs (inclusive)
+	h.Observe(3 * time.Microsecond)   // bucket le=4µs
+	h.Observe(100 * time.Millisecond) // bucket le=131072µs
+	h.Observe(time.Hour)              // +Inf
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	want := 500*time.Nanosecond + time.Microsecond + 3*time.Microsecond + 100*time.Millisecond + time.Hour
+	if got := h.Sum(); got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	if got := h.counts[0].Load(); got != 2 {
+		t.Fatalf("bucket 0 = %d, want 2", got)
+	}
+	if got := h.counts[2].Load(); got != 1 {
+		t.Fatalf("bucket le=4µs = %d, want 1", got)
+	}
+	if got := h.counts[histBuckets].Load(); got != 1 {
+		t.Fatalf("+Inf bucket = %d, want 1", got)
+	}
+}
+
+func TestNilRegistryAndHandlesAreNops(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("y").Set(1)
+	r.Histogram("z").Observe(time.Second)
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	var tel *Telemetry
+	if tel.Enabled() {
+		t.Fatal("nil telemetry reports enabled")
+	}
+	tel.Metrics().Counter("a").Inc()
+	tel.Tracer().Emit(Track{}, "s", 0, time.Second)
+	tel.Tracer().Instant(Track{}, "i", 0)
+	if tel.Tracer().Len() != 0 || tel.Tracer().Dropped() != 0 {
+		t.Fatal("nil tracer holds spans")
+	}
+}
+
+// parsePrometheus structurally validates the text exposition format and
+// returns the sample values by series key.
+func parsePrometheus(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	sampleRe := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (-?[0-9.eE+-]+|NaN)$`)
+	typeRe := regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$`)
+	samples := make(map[string]float64)
+	typed := make(map[string]bool)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			m := typeRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("malformed comment line: %q", line)
+			}
+			typed[m[1]] = true
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(m[1], "_bucket"), "_sum"), "_count")
+		if !typed[base] && !typed[m[1]] {
+			t.Fatalf("sample %q precedes its # TYPE line", line)
+		}
+		v, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		samples[m[1]+m[2]] = v
+	}
+	return samples
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hetmp_faults_total", L("node", "0")).Add(7)
+	r.Counter("hetmp_faults_total", L("node", "1")).Add(9)
+	r.Gauge("hetmp_csr", L("node", "0")).Set(3.5)
+	h := r.Histogram("hetmp_lat_seconds", L("proto", "rdma"))
+	h.Observe(3 * time.Microsecond)
+	h.Observe(30 * time.Microsecond)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	samples := parsePrometheus(t, text)
+
+	if v := samples[`hetmp_faults_total{node="0"}`]; v != 7 {
+		t.Fatalf("node 0 faults = %v, want 7\n%s", v, text)
+	}
+	if v := samples[`hetmp_faults_total{node="1"}`]; v != 9 {
+		t.Fatalf("node 1 faults = %v, want 9", v)
+	}
+	if v := samples[`hetmp_csr{node="0"}`]; v != 3.5 {
+		t.Fatalf("csr gauge = %v, want 3.5", v)
+	}
+	if v := samples[`hetmp_lat_seconds_count{proto="rdma"}`]; v != 2 {
+		t.Fatalf("histogram count = %v, want 2", v)
+	}
+	if v := samples[`hetmp_lat_seconds_bucket{proto="rdma",le="+Inf"}`]; v != 2 {
+		t.Fatalf("+Inf bucket = %v, want 2", v)
+	}
+	// Buckets must be cumulative (non-decreasing in le order).
+	if lo, hi := samples[`hetmp_lat_seconds_bucket{proto="rdma",le="4e-06"}`],
+		samples[`hetmp_lat_seconds_bucket{proto="rdma",le="3.2e-05"}`]; lo != 1 || hi != 2 {
+		t.Fatalf("cumulative buckets wrong: le=4µs %v (want 1), le=32µs %v (want 2)\n%s", lo, hi, text)
+	}
+	// One TYPE line per family, before its samples.
+	if n := strings.Count(text, "# TYPE hetmp_faults_total counter"); n != 1 {
+		t.Fatalf("TYPE line for counter family appears %d times", n)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hetmp_esc_total", L("msg", "a\"b\\c\nd")).Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `hetmp_esc_total{msg="a\"b\\c\nd"} 1`
+	if !strings.Contains(sb.String(), want) {
+		t.Fatalf("escaped label missing; got:\n%s", sb.String())
+	}
+}
+
+func ExampleRegistry_WritePrometheus() {
+	r := NewRegistry()
+	r.Counter("hetmp_example_total", L("node", "0")).Add(3)
+	var sb strings.Builder
+	_ = r.WritePrometheus(&sb)
+	fmt.Print(sb.String())
+	// Output:
+	// # TYPE hetmp_example_total counter
+	// hetmp_example_total{node="0"} 3
+}

@@ -1,0 +1,69 @@
+// Package telemetry is the runtime's introspection layer: a
+// zero-third-party-dependency tracing and metrics subsystem shared by
+// the simulated, local and RPC execution paths.
+//
+// Two facilities are provided:
+//
+//   - Spans (Tracer): a lock-cheap, bounded ring buffer of timed span
+//     records exported as Chrome trace-event JSON, loadable in
+//     chrome://tracing or Perfetto. Timestamps are supplied by the
+//     caller, so the same recorder works with the simulator's virtual
+//     clocks (Env.Now) and with wall clocks (Tracer.WallNow) in RPC
+//     mode.
+//   - Metrics (Registry): named counters, gauges and log-bucketed
+//     histograms with Prometheus text-format export.
+//
+// The disabled state is a nil *Telemetry (and the nil *Tracer /
+// *Registry / metric handles it hands out): every method is nil-safe
+// and returns immediately, so instrumentation sites cost one pointer
+// test when telemetry is off. The overhead guard in the repository
+// root enforces that this stays true on the EP kernel.
+package telemetry
+
+// Options sizes a Telemetry instance.
+type Options struct {
+	// SpanCapacity bounds the tracer's ring buffer (number of span
+	// records kept; older records are overwritten and counted as
+	// dropped). Defaults to 65536.
+	SpanCapacity int
+}
+
+// Telemetry bundles a span tracer and a metrics registry. The nil
+// *Telemetry is the nop implementation: all methods are safe to call
+// and do nothing.
+type Telemetry struct {
+	tracer  *Tracer
+	metrics *Registry
+}
+
+// New creates an enabled Telemetry instance.
+func New(opts Options) *Telemetry {
+	if opts.SpanCapacity <= 0 {
+		opts.SpanCapacity = 1 << 16
+	}
+	return &Telemetry{
+		tracer:  newTracer(opts.SpanCapacity),
+		metrics: NewRegistry(),
+	}
+}
+
+// Enabled reports whether telemetry is collecting.
+func (t *Telemetry) Enabled() bool { return t != nil }
+
+// Tracer returns the span recorder (nil when disabled; the nil Tracer
+// is itself a valid nop).
+func (t *Telemetry) Tracer() *Tracer {
+	if t == nil {
+		return nil
+	}
+	return t.tracer
+}
+
+// Metrics returns the metrics registry (nil when disabled; the nil
+// Registry is itself a valid nop).
+func (t *Telemetry) Metrics() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.metrics
+}

@@ -1,0 +1,313 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Track identifies one timeline in the trace: Pid groups tracks (a
+// node, a process), Tid separates threads within the group (0 is the
+// master/main thread by convention).
+type Track struct {
+	Pid int
+	Tid int
+}
+
+// Arg is one key/value annotation on a span.
+type Arg struct {
+	Key string
+	Val string
+}
+
+// A span kind, mirroring the Chrome trace-event phase.
+const (
+	kindComplete = 'X' // a [start, start+dur) interval
+	kindInstant  = 'i' // a point event
+)
+
+// Span is one recorded trace event.
+type Span struct {
+	Name  string
+	Track Track
+	Start time.Duration
+	Dur   time.Duration
+	Kind  byte
+	Args  []Arg
+}
+
+// Tracer records spans into a bounded ring buffer. Emission takes one
+// short mutex-protected critical section (an index bump and a struct
+// store), so many goroutines can emit concurrently; when the buffer
+// wraps, the oldest records are overwritten and counted as dropped.
+type Tracer struct {
+	epoch time.Time
+
+	mu    sync.Mutex
+	buf   []Span
+	next  uint64 // total spans ever emitted; buf slot is next % len(buf)
+	names map[Track]trackName
+}
+
+type trackName struct {
+	process string
+	thread  string
+}
+
+func newTracer(capacity int) *Tracer {
+	return &Tracer{
+		epoch: time.Now(),
+		buf:   make([]Span, capacity),
+		names: make(map[Track]trackName),
+	}
+}
+
+// WallNow returns the wall-clock time elapsed since the tracer was
+// created — the timestamp source for callers without a virtual clock
+// (the RPC pool and server).
+func (t *Tracer) WallNow() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.epoch)
+}
+
+// NameTrack attaches human-readable process/thread names to a track
+// (rendered by trace viewers as timeline labels).
+func (t *Tracer) NameTrack(track Track, process, thread string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.names[track] = trackName{process: process, thread: thread}
+	t.mu.Unlock()
+}
+
+// Emit records a complete span covering [start, end). Timestamps come
+// from the caller's clock — virtual time in simulation, WallNow in
+// real backends — and must be non-decreasing per track.
+func (t *Tracer) Emit(track Track, name string, start, end time.Duration, args ...Arg) {
+	if t == nil {
+		return
+	}
+	dur := end - start
+	if dur < 0 {
+		dur = 0
+	}
+	t.record(Span{Name: name, Track: track, Start: start, Dur: dur, Kind: kindComplete, Args: args})
+}
+
+// Instant records a point event at ts.
+func (t *Tracer) Instant(track Track, name string, ts time.Duration, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.record(Span{Name: name, Track: track, Start: ts, Kind: kindInstant, Args: args})
+}
+
+func (t *Tracer) record(s Span) {
+	t.mu.Lock()
+	t.buf[t.next%uint64(len(t.buf))] = s
+	t.next++
+	t.mu.Unlock()
+}
+
+// Len returns the number of spans currently held (≤ capacity).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.next < uint64(len(t.buf)) {
+		return int(t.next)
+	}
+	return len(t.buf)
+}
+
+// Dropped returns how many spans were overwritten by ring wraparound.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.next < uint64(len(t.buf)) {
+		return 0
+	}
+	return t.next - uint64(len(t.buf))
+}
+
+// Spans returns a snapshot of the retained spans sorted by start time
+// (ties broken by track) — oldest first.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	n := int(t.next)
+	if n > len(t.buf) {
+		n = len(t.buf)
+	}
+	out := make([]Span, n)
+	if t.next <= uint64(len(t.buf)) {
+		copy(out, t.buf[:n])
+	} else {
+		// The ring has wrapped: oldest record sits at next % cap.
+		head := int(t.next % uint64(len(t.buf)))
+		copy(out, t.buf[head:])
+		copy(out[len(t.buf)-head:], t.buf[:head])
+	}
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		if out[i].Track.Pid != out[j].Track.Pid {
+			return out[i].Track.Pid < out[j].Track.Pid
+		}
+		return out[i].Track.Tid < out[j].Track.Tid
+	})
+	return out
+}
+
+// traceEvent is the Chrome trace-event JSON shape.
+type traceEvent struct {
+	Name  string            `json:"name"`
+	Phase string            `json:"ph"`
+	TS    float64           `json:"ts"` // microseconds
+	Dur   *float64          `json:"dur,omitempty"`
+	Pid   int               `json:"pid"`
+	Tid   int               `json:"tid"`
+	Scope string            `json:"s,omitempty"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+func micros(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+// WriteTrace writes the retained spans as Chrome trace-event JSON
+// (the {"traceEvents": [...]} object form), loadable in
+// chrome://tracing and Perfetto. Events are ordered by timestamp, so
+// ts is monotone non-decreasing per track.
+func (t *Tracer) WriteTrace(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[],"displayTimeUnit":"ms"}`)
+		return err
+	}
+	spans := t.Spans()
+
+	t.mu.Lock()
+	tracks := make([]Track, 0, len(t.names))
+	for tr := range t.names {
+		tracks = append(tracks, tr)
+	}
+	names := make(map[Track]trackName, len(t.names))
+	for tr, n := range t.names {
+		names[tr] = n
+	}
+	t.mu.Unlock()
+	sort.Slice(tracks, func(i, j int) bool {
+		if tracks[i].Pid != tracks[j].Pid {
+			return tracks[i].Pid < tracks[j].Pid
+		}
+		return tracks[i].Tid < tracks[j].Tid
+	})
+
+	events := make([]traceEvent, 0, len(spans)+2*len(tracks))
+	for _, tr := range tracks {
+		n := names[tr]
+		if n.process != "" {
+			events = append(events, traceEvent{
+				Name: "process_name", Phase: "M", Pid: tr.Pid, Tid: tr.Tid,
+				Args: map[string]string{"name": n.process},
+			})
+		}
+		if n.thread != "" {
+			events = append(events, traceEvent{
+				Name: "thread_name", Phase: "M", Pid: tr.Pid, Tid: tr.Tid,
+				Args: map[string]string{"name": n.thread},
+			})
+		}
+	}
+	for _, s := range spans {
+		ev := traceEvent{
+			Name:  s.Name,
+			Phase: string(s.Kind),
+			TS:    micros(s.Start),
+			Pid:   s.Track.Pid,
+			Tid:   s.Track.Tid,
+		}
+		if s.Kind == kindComplete {
+			d := micros(s.Dur)
+			ev.Dur = &d
+		}
+		if s.Kind == kindInstant {
+			ev.Scope = "t" // thread-scoped instant
+		}
+		if len(s.Args) > 0 {
+			ev.Args = make(map[string]string, len(s.Args))
+			for _, a := range s.Args {
+				ev.Args[a.Key] = a.Val
+			}
+		}
+		events = append(events, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// ValidateTrace structurally checks exported trace JSON against the
+// trace-event schema subset this package emits: a traceEvents array
+// whose events have a name and a known phase, complete (X) events
+// with non-negative ts and dur, metadata (M) events naming processes
+// or threads, and ts monotone non-decreasing per (pid, tid) track.
+// Tests use it; it is exported so integration tests outside this
+// package (and tools) can too.
+func ValidateTrace(data []byte) error {
+	var f traceFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("telemetry: trace JSON does not parse: %w", err)
+	}
+	lastTS := make(map[Track]float64)
+	for i, ev := range f.TraceEvents {
+		if ev.Name == "" {
+			return fmt.Errorf("telemetry: event %d has no name", i)
+		}
+		switch ev.Phase {
+		case "X":
+			if ev.TS < 0 {
+				return fmt.Errorf("telemetry: event %d (%s) has negative ts %v", i, ev.Name, ev.TS)
+			}
+			if ev.Dur == nil || *ev.Dur < 0 {
+				return fmt.Errorf("telemetry: complete event %d (%s) lacks a non-negative dur", i, ev.Name)
+			}
+			tr := Track{Pid: ev.Pid, Tid: ev.Tid}
+			if last, ok := lastTS[tr]; ok && ev.TS < last {
+				return fmt.Errorf("telemetry: event %d (%s) ts %v precedes %v on track %v", i, ev.Name, ev.TS, last, tr)
+			}
+			lastTS[tr] = ev.TS
+		case "i":
+			if ev.TS < 0 {
+				return fmt.Errorf("telemetry: instant event %d (%s) has negative ts", i, ev.Name)
+			}
+		case "M":
+			if ev.Name != "process_name" && ev.Name != "thread_name" {
+				return fmt.Errorf("telemetry: metadata event %d has unknown name %q", i, ev.Name)
+			}
+			if ev.Args["name"] == "" {
+				return fmt.Errorf("telemetry: metadata event %d (%s) lacks args.name", i, ev.Name)
+			}
+		default:
+			return fmt.Errorf("telemetry: event %d (%s) has unsupported phase %q", i, ev.Name, ev.Phase)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,283 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEmitAndSpans(t *testing.T) {
+	tel := New(Options{SpanCapacity: 8})
+	tr := tel.Tracer()
+	tr.NameTrack(Track{Pid: 0, Tid: 0}, "node0", "master")
+	tr.Emit(Track{Pid: 0, Tid: 0}, "probe", 10*time.Microsecond, 30*time.Microsecond, Arg{Key: "region", Val: "1"})
+	tr.Instant(Track{Pid: 0, Tid: 0}, "decision", 30*time.Microsecond)
+	tr.Emit(Track{Pid: 1, Tid: 1}, "chunk", 5*time.Microsecond, 25*time.Microsecond)
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	// Sorted by start: chunk(5), probe(10), decision(30).
+	if spans[0].Name != "chunk" || spans[1].Name != "probe" || spans[2].Name != "decision" {
+		t.Fatalf("unexpected order: %v %v %v", spans[0].Name, spans[1].Name, spans[2].Name)
+	}
+	if spans[1].Dur != 20*time.Microsecond {
+		t.Fatalf("probe dur = %v, want 20µs", spans[1].Dur)
+	}
+	if spans[2].Kind != kindInstant {
+		t.Fatalf("decision kind = %q, want instant", spans[2].Kind)
+	}
+}
+
+func TestEmitClampsNegativeDuration(t *testing.T) {
+	tel := New(Options{SpanCapacity: 4})
+	tr := tel.Tracer()
+	tr.Emit(Track{}, "backwards", 10*time.Microsecond, 5*time.Microsecond)
+	if got := tr.Spans()[0].Dur; got != 0 {
+		t.Fatalf("negative interval dur = %v, want clamp to 0", got)
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	tel := New(Options{SpanCapacity: 4})
+	tr := tel.Tracer()
+	for i := 0; i < 10; i++ {
+		tr.Emit(Track{}, fmt.Sprintf("s%d", i), time.Duration(i)*time.Microsecond, time.Duration(i+1)*time.Microsecond)
+	}
+	if got := tr.Len(); got != 4 {
+		t.Fatalf("Len = %d, want capacity 4", got)
+	}
+	if got := tr.Dropped(); got != 6 {
+		t.Fatalf("Dropped = %d, want 6", got)
+	}
+	spans := tr.Spans()
+	// Only the newest four survive, oldest first.
+	want := []string{"s6", "s7", "s8", "s9"}
+	for i, w := range want {
+		if spans[i].Name != w {
+			t.Fatalf("span %d = %q, want %q", i, spans[i].Name, w)
+		}
+	}
+}
+
+func TestConcurrentEmission(t *testing.T) {
+	tel := New(Options{SpanCapacity: 256})
+	tr := tel.Tracer()
+	reg := tel.Metrics()
+	const goroutines = 16
+	const perG = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := reg.Counter("hetmp_conc_total", L("g", fmt.Sprint(g%4)))
+			h := reg.Histogram("hetmp_conc_seconds")
+			track := Track{Pid: g % 4, Tid: g}
+			tr.NameTrack(track, fmt.Sprintf("node%d", g%4), fmt.Sprintf("w%d", g))
+			for i := 0; i < perG; i++ {
+				start := time.Duration(g*perG+i) * time.Microsecond
+				tr.Emit(track, "work", start, start+time.Microsecond, Arg{Key: "i", Val: fmt.Sprint(i)})
+				tr.Instant(track, "tick", start)
+				c.Inc()
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := tr.Len(); got != 256 {
+		t.Fatalf("Len = %d, want full ring 256", got)
+	}
+	if got := tr.Dropped(); got != goroutines*perG*2-256 {
+		t.Fatalf("Dropped = %d, want %d", got, goroutines*perG*2-256)
+	}
+	var total int64
+	for g := 0; g < 4; g++ {
+		total += reg.Counter("hetmp_conc_total", L("g", fmt.Sprint(g))).Value()
+	}
+	if total != goroutines*perG {
+		t.Fatalf("counter total = %d, want %d", total, goroutines*perG)
+	}
+	if got := reg.Histogram("hetmp_conc_seconds").Count(); got != goroutines*perG {
+		t.Fatalf("histogram count = %d, want %d", got, goroutines*perG)
+	}
+	// Exported trace must still validate (schema + per-track monotone ts).
+	var buf bytes.Buffer
+	if err := tr.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateTrace(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteTraceSchema(t *testing.T) {
+	tel := New(Options{SpanCapacity: 16})
+	tr := tel.Tracer()
+	tr.NameTrack(Track{Pid: 0, Tid: 0}, "sim node 0", "master")
+	tr.NameTrack(Track{Pid: 1, Tid: 2}, "sim node 1", "worker 1")
+	tr.Emit(Track{Pid: 0, Tid: 0}, "hetprobe", 0, 40*time.Microsecond, Arg{Key: "outcome", Val: "cross-node"})
+	tr.Instant(Track{Pid: 0, Tid: 0}, "decision", 40*time.Microsecond)
+	tr.Emit(Track{Pid: 1, Tid: 2}, "chunk", 41*time.Microsecond, 90*time.Microsecond)
+
+	var buf bytes.Buffer
+	if err := tr.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateTrace(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+
+	var f struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	var meta, complete, instant int
+	for _, ev := range f.TraceEvents {
+		switch ev["ph"] {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			if _, ok := ev["dur"].(float64); !ok {
+				t.Fatalf("complete event lacks dur: %v", ev)
+			}
+		case "i":
+			instant++
+			if ev["s"] != "t" {
+				t.Fatalf("instant event lacks thread scope: %v", ev)
+			}
+		}
+	}
+	if meta != 4 || complete != 2 || instant != 1 {
+		t.Fatalf("event mix M=%d X=%d i=%d, want 4/2/1", meta, complete, instant)
+	}
+	if want := `"outcome":"cross-node"`; !strings.Contains(buf.String(), want) {
+		t.Fatalf("span args missing %s in:\n%s", want, buf.String())
+	}
+}
+
+func TestWriteTraceNilTracer(t *testing.T) {
+	var tr *Tracer
+	var buf bytes.Buffer
+	if err := tr.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateTrace(buf.Bytes()); err != nil {
+		t.Fatalf("nil tracer trace invalid: %v", err)
+	}
+}
+
+func TestValidateTraceRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"not json", `{`},
+		{"unnamed event", `{"traceEvents":[{"ph":"X","ts":0,"dur":1,"pid":0,"tid":0}]}`},
+		{"bad phase", `{"traceEvents":[{"name":"a","ph":"Q","ts":0,"pid":0,"tid":0}]}`},
+		{"complete without dur", `{"traceEvents":[{"name":"a","ph":"X","ts":0,"pid":0,"tid":0}]}`},
+		{"negative ts", `{"traceEvents":[{"name":"a","ph":"X","ts":-5,"dur":1,"pid":0,"tid":0}]}`},
+		{"non-monotone track", `{"traceEvents":[
+			{"name":"a","ph":"X","ts":10,"dur":1,"pid":0,"tid":0},
+			{"name":"b","ph":"X","ts":5,"dur":1,"pid":0,"tid":0}]}`},
+		{"metadata without name arg", `{"traceEvents":[{"name":"process_name","ph":"M","ts":0,"pid":0,"tid":0}]}`},
+	}
+	for _, c := range cases {
+		if err := ValidateTrace([]byte(c.doc)); err == nil {
+			t.Errorf("%s: ValidateTrace accepted invalid doc", c.name)
+		}
+	}
+	// Different tracks may interleave freely.
+	ok := `{"traceEvents":[
+		{"name":"a","ph":"X","ts":10,"dur":1,"pid":0,"tid":0},
+		{"name":"b","ph":"X","ts":5,"dur":1,"pid":1,"tid":0}]}`
+	if err := ValidateTrace([]byte(ok)); err != nil {
+		t.Errorf("cross-track interleaving rejected: %v", err)
+	}
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	tel := New(Options{SpanCapacity: 8})
+	tel.Metrics().Counter("hetmp_rpc_retries_total", L("worker", "w1")).Add(2)
+	tel.Tracer().Emit(Track{}, "chunk", 0, time.Millisecond)
+	h := Handler(tel)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/metrics status %d", rec.Code)
+	}
+	if got := rec.Header().Get("Content-Type"); !strings.HasPrefix(got, "text/plain") {
+		t.Fatalf("/metrics content type %q", got)
+	}
+	if !strings.Contains(rec.Body.String(), `hetmp_rpc_retries_total{worker="w1"} 2`) {
+		t.Fatalf("/metrics missing counter:\n%s", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/trace", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/trace status %d", rec.Code)
+	}
+	if err := ValidateTrace(rec.Body.Bytes()); err != nil {
+		t.Fatalf("/trace invalid: %v", err)
+	}
+
+	// Nil telemetry still serves valid empty documents.
+	hn := Handler(nil)
+	rec = httptest.NewRecorder()
+	hn.ServeHTTP(rec, httptest.NewRequest("GET", "/trace", nil))
+	if err := ValidateTrace(rec.Body.Bytes()); err != nil {
+		t.Fatalf("nil /trace invalid: %v", err)
+	}
+	rec = httptest.NewRecorder()
+	hn.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("nil /metrics status %d", rec.Code)
+	}
+}
+
+func TestWallNowAdvances(t *testing.T) {
+	tel := New(Options{})
+	a := tel.Tracer().WallNow()
+	time.Sleep(time.Millisecond)
+	b := tel.Tracer().WallNow()
+	if b <= a {
+		t.Fatalf("WallNow did not advance: %v then %v", a, b)
+	}
+}
+
+func BenchmarkNopEmit(b *testing.B) {
+	var tr *Tracer
+	track := Track{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(track, "x", 0, 1)
+	}
+}
+
+func BenchmarkNopCounterInc(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkEnabledEmit(b *testing.B) {
+	tr := New(Options{SpanCapacity: 1 << 12}).Tracer()
+	track := Track{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(track, "x", time.Duration(i), time.Duration(i+1))
+	}
+}

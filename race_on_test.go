@@ -1,0 +1,7 @@
+//go:build race
+
+package hetmp_test
+
+// raceEnabled reports whether this binary was built with -race (the
+// overhead guard skips wall-clock comparisons under the detector).
+const raceEnabled = true
