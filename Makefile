@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 vet race check results
+.PHONY: all tier1 vet race check results chaos
 
 all: check
 
@@ -25,6 +25,12 @@ race-fast:
 	$(GO) test -race ./internal/rpc/... ./internal/core/... ./internal/cluster/... ./internal/apportion/...
 
 check: tier1 vet race
+
+# Chaos soak: the degradation-injection acceptance tests (multi-seed
+# soak, seeded reproducibility, chaos-off zero-delta) under the race
+# detector. The wall-clock overhead guard skips itself under -race.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos' .
 
 # Regenerate the full evaluation output (not checked in — takes
 # minutes; see EXPERIMENTS.md for the committed summary).

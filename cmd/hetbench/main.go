@@ -17,6 +17,7 @@ import (
 	"os"
 	"strings"
 
+	"hetmp/internal/chaos"
 	"hetmp/internal/experiments"
 	"hetmp/internal/machine"
 )
@@ -28,9 +29,12 @@ func main() {
 		setup   = flag.Bool("setup", false, "print the simulated platform (Table 1) and exit")
 		scale   = flag.Float64("scale", 0, "override the benchmark scale factor")
 		jsonOut = flag.String("json", "", `also write results as JSON to this file ("-" = stdout; durations are nanoseconds)`)
+
+		chaosProfile = flag.String("chaos-profile", "", "inject a named degradation profile into every run: "+strings.Join(chaos.Profiles(), " | "))
+		chaosSeed    = flag.Int64("chaos-seed", 1, "seed for the chaos schedule; same seed = same degradation, bit for bit")
 	)
 	flag.Parse()
-	if err := run(*quick, *only, *setup, *scale, *jsonOut); err != nil {
+	if err := run(*quick, *only, *setup, *scale, *jsonOut, *chaosProfile, *chaosSeed); err != nil {
 		fmt.Fprintln(os.Stderr, "hetbench:", err)
 		os.Exit(1)
 	}
@@ -89,7 +93,7 @@ func writeReport(rep *Report, path string) error {
 	return nil
 }
 
-func run(quick bool, only string, setup bool, scale float64, jsonOut string) error {
+func run(quick bool, only string, setup bool, scale float64, jsonOut, chaosProfile string, chaosSeed int64) error {
 	if setup {
 		printSetup()
 		return nil
@@ -100,6 +104,11 @@ func run(quick bool, only string, setup bool, scale float64, jsonOut string) err
 	}
 	if scale > 0 {
 		s.Scale = scale
+	}
+	s.ChaosProfile = chaosProfile
+	s.ChaosSeed = chaosSeed
+	if chaosProfile != "" {
+		fmt.Printf("chaos profile %s (seed %d) active for every run\n\n", chaosProfile, chaosSeed)
 	}
 
 	want := map[string]bool{}

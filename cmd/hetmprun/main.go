@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"hetmp/internal/chaos"
 	"hetmp/internal/experiments"
 	"hetmp/internal/interconnect"
 	"hetmp/internal/kernels"
@@ -39,6 +40,9 @@ func main() {
 
 		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON file of the run (load in chrome://tracing or Perfetto)")
 		metricsOut = flag.String("metrics", "", "write a Prometheus text-format metrics dump of the run")
+
+		chaosProfile = flag.String("chaos-profile", "", "inject a named degradation profile: "+strings.Join(chaos.Profiles(), " | ")+" (enables HetProbe re-decision)")
+		chaosSeed    = flag.Int64("chaos-seed", 1, "seed for the chaos schedule; same seed = same degradation, bit for bit")
 
 		rpcAddrs    = flag.String("rpc", "", "comma-separated worker addresses: run -task over real RPC workers instead of the simulator")
 		task        = flag.String("task", "blackscholes", "registered task name for -rpc mode")
@@ -64,7 +68,7 @@ func main() {
 	if *rpcAddrs != "" {
 		err = runRPC(*rpcAddrs, *task, *n, *arg, *probe, *callTimeout, *retries, *redial, tel)
 	} else {
-		err = run(*bench, *config, *protocol, *scale, *quick, tel)
+		err = run(*bench, *config, *protocol, *scale, *quick, *chaosProfile, *chaosSeed, tel)
 	}
 	if err == nil {
 		err = writeTelemetry(tel, *traceOut, *metricsOut)
@@ -158,7 +162,7 @@ func printWorkerStats(stats []rpc.WorkerStats) {
 	}
 }
 
-func run(bench, config, protocol string, scale float64, quick bool, tel *telemetry.Telemetry) error {
+func run(bench, config, protocol string, scale float64, quick bool, chaosProfile string, chaosSeed int64, tel *telemetry.Telemetry) error {
 	s := experiments.Default()
 	if quick {
 		s = experiments.Quick()
@@ -167,6 +171,8 @@ func run(bench, config, protocol string, scale float64, quick bool, tel *telemet
 		s.Scale = scale
 	}
 	s.Telemetry = tel
+	s.ChaosProfile = chaosProfile
+	s.ChaosSeed = chaosSeed
 	proto := interconnect.RDMA56()
 	if protocol == "tcpip" {
 		proto = interconnect.TCPIP()
@@ -177,6 +183,10 @@ func run(bench, config, protocol string, scale float64, quick bool, tel *telemet
 	}
 	fmt.Printf("%s under %s (%s): %s, %d DSM faults\n",
 		bench, config, proto.Name, experiments.FormatDuration(res.Time), res.Faults)
+	if chaosProfile != "" {
+		fmt.Printf("  chaos %s (seed %d): %d mid-region re-decision(s)\n",
+			chaosProfile, chaosSeed, res.ReDecisions)
+	}
 	if len(res.Decisions) > 0 {
 		ids := make([]string, 0, len(res.Decisions))
 		for id := range res.Decisions {

@@ -16,6 +16,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -67,17 +69,21 @@ func run(listen, name string, throttle time.Duration, fault *rpc.FaultConfig, de
 		return err
 	}
 	var tel *telemetry.Telemetry
+	var debug *http.Server
 	if debugAddr != "" {
 		tel = telemetry.New(telemetry.Options{})
 		dln, err := net.Listen("tcp", debugAddr)
 		if err != nil {
 			return fmt.Errorf("debug listener: %w", err)
 		}
+		debug = &http.Server{Handler: telemetry.Handler(tel)}
 		go func() {
-			if err := http.Serve(dln, telemetry.Handler(tel)); err != nil {
+			if err := debug.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fmt.Fprintln(os.Stderr, "hetworker: debug server:", err)
 			}
 		}()
+		// Log the bound address, not the flag value: with ":0" the OS
+		// picks the port and this line is the only way to find it.
 		fmt.Printf("hetworker %q debug endpoint on http://%s/metrics\n", name, dln.Addr())
 	}
 	srv := &rpc.Server{Name: name, Cores: runtime.GOMAXPROCS(0), Throttle: throttle, Fault: fault, Telemetry: tel}
@@ -87,6 +93,16 @@ func run(listen, name string, throttle time.Duration, fault *rpc.FaultConfig, de
 	go func() {
 		s := <-sig
 		fmt.Printf("hetworker %q: %v, shutting down\n", name, s)
+		if debug != nil {
+			// Drain in-flight scrapes before tearing the worker down so
+			// a final /metrics or /trace pull is never cut mid-body.
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			if err := debug.Shutdown(ctx); err != nil {
+				debug.Close()
+			}
+			cancel()
+			fmt.Printf("hetworker %q: debug server stopped\n", name)
+		}
 		srv.Close()
 	}()
 

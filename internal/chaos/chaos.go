@@ -1,0 +1,413 @@
+// Package chaos injects deterministic, seeded degradation into the
+// simulated substrate: link degradation (latency ×k, bandwidth ÷k),
+// transient link outages with a retransmit cost, DSM message loss
+// (modeled as retransmit latency on the fault path), and per-node
+// straggle/freeze windows (issue-rate division in virtual time).
+//
+// An Injector is a pure function of (profile, seed, virtual time): it
+// holds no wall-clock state and draws randomness only from its own
+// seeded source, in the order the simtime engine serializes queries.
+// Two runs of the same workload with the same seed therefore observe
+// bit-for-bit identical degradation — the property the soak tests
+// assert. A nil *Injector is valid everywhere and means "no chaos";
+// every query method is a nil-safe nop costing one pointer test, so
+// the substrate's hot paths are free when chaos is disabled.
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"hetmp/internal/telemetry"
+)
+
+// forever marks an open-ended window or "no further boundary".
+const forever = time.Duration(math.MaxInt64)
+
+// LinkEvent degrades the inter-node link during a window of virtual
+// time. Degradation and outage windows are both expressed as
+// LinkEvents; Outage selects which.
+type LinkEvent struct {
+	// Start is the virtual time the window first opens.
+	Start time.Duration
+	// Duration is the window length. Zero means "until the end of the
+	// run" (open-ended), except for periodic events, where it must be
+	// positive.
+	Duration time.Duration
+	// Period, when positive, repeats the window every Period after
+	// Start (duty cycle Duration/Period).
+	Period time.Duration
+	// LatencyFactor ≥ 1 multiplies the link's one-way wire latency
+	// while the window is open. Values below 1 are clamped to 1.
+	LatencyFactor float64
+	// BandwidthFactor ≥ 1 divides the link bandwidth while the window
+	// is open. Values below 1 are clamped to 1.
+	BandwidthFactor float64
+	// Outage marks the window as a full link outage: transfers that
+	// fault into it stall until the window closes and then pay
+	// RetransmitCost. Factor fields are ignored for outages.
+	Outage bool
+	// RetransmitCost is the extra latency a transfer pays after
+	// waiting out an outage (the lost-and-retransmitted request).
+	RetransmitCost time.Duration
+}
+
+// NodeEvent throttles one node's compute issue rate during a window.
+type NodeEvent struct {
+	// Node is the index of the affected node.
+	Node int
+	// Start, Duration, Period follow LinkEvent's window semantics.
+	Start    time.Duration
+	Duration time.Duration
+	Period   time.Duration
+	// SlowFactor ≥ 1 divides the node's issue rate (compute takes
+	// SlowFactor × longer) while the window is open. Ignored for
+	// freezes.
+	SlowFactor float64
+	// Freeze stops the node entirely for the window: compute makes no
+	// progress until the window closes. Freeze windows must be
+	// bounded (Duration > 0).
+	Freeze bool
+}
+
+// Profile is a complete chaos schedule.
+type Profile struct {
+	// Name identifies the profile in logs and telemetry.
+	Name string
+	// LossProb is the per-fault probability that the DSM request or
+	// reply is lost and must be retransmitted.
+	LossProb float64
+	// LossPenalty is the retransmit latency charged per lost message.
+	LossPenalty time.Duration
+	// Links and Nodes are the scheduled degradation windows.
+	Links []LinkEvent
+	Nodes []NodeEvent
+}
+
+// Empty reports whether the profile injects nothing.
+func (p Profile) Empty() bool {
+	return p.LossProb <= 0 && len(p.Links) == 0 && len(p.Nodes) == 0
+}
+
+// Validate rejects schedules the simulator cannot honor.
+func (p Profile) Validate() error {
+	if p.LossProb < 0 || p.LossProb > 1 {
+		return fmt.Errorf("chaos %q: loss probability %v outside [0,1]", p.Name, p.LossProb)
+	}
+	if p.LossProb > 0 && p.LossPenalty <= 0 {
+		return fmt.Errorf("chaos %q: message loss needs a positive retransmit penalty", p.Name)
+	}
+	for i, ev := range p.Links {
+		if ev.Start < 0 || ev.Duration < 0 || ev.Period < 0 {
+			return fmt.Errorf("chaos %q: link event %d has a negative time field", p.Name, i)
+		}
+		if ev.Period > 0 && (ev.Duration <= 0 || ev.Duration >= ev.Period) {
+			return fmt.Errorf("chaos %q: link event %d: periodic windows need 0 < duration < period", p.Name, i)
+		}
+		if ev.Outage && ev.Duration <= 0 {
+			return fmt.Errorf("chaos %q: link event %d: outages must be bounded", p.Name, i)
+		}
+	}
+	for i, ev := range p.Nodes {
+		if ev.Node < 0 {
+			return fmt.Errorf("chaos %q: node event %d targets negative node %d", p.Name, i, ev.Node)
+		}
+		if ev.Start < 0 || ev.Duration < 0 || ev.Period < 0 {
+			return fmt.Errorf("chaos %q: node event %d has a negative time field", p.Name, i)
+		}
+		if ev.Period > 0 && (ev.Duration <= 0 || ev.Duration >= ev.Period) {
+			return fmt.Errorf("chaos %q: node event %d: periodic windows need 0 < duration < period", p.Name, i)
+		}
+		if ev.Freeze && ev.Duration <= 0 {
+			return fmt.Errorf("chaos %q: node event %d: freezes must be bounded", p.Name, i)
+		}
+	}
+	return nil
+}
+
+// Injector answers the substrate's degradation queries for one run.
+// Construct one per simulation; sharing across concurrent runs would
+// interleave the loss draws and break reproducibility.
+type Injector struct {
+	prof Profile
+	rng  *rand.Rand
+
+	// hasLinks/hasOutages/hasNodes let the query wrappers bail out
+	// before touching the schedule, keeping an attached-but-empty
+	// injector nearly as cheap as a nil one (the wrappers are small
+	// enough to inline; the slow paths are separate functions).
+	hasLinks   bool
+	hasOutages bool
+	hasNodes   bool
+
+	// Cached telemetry handles (the dsm telHooks pattern): resolved
+	// once in SetTelemetry so the hot path never performs a registry
+	// lookup. All nil when telemetry is disabled.
+	degradedCtr *telemetry.Counter
+	outageCtr   *telemetry.Counter
+	lossCtr     *telemetry.Counter
+	slowGauges  []*telemetry.Gauge
+	lastSlow    []float64
+}
+
+// New builds an injector for the profile. The seed drives the message
+// loss draws; the event schedule itself is fixed by the profile.
+// Invalid profiles panic — they indicate a configuration bug, and the
+// named profiles from this package always validate.
+func New(p Profile, seed int64) *Injector {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	in := &Injector{prof: p, rng: rand.New(rand.NewSource(seed))}
+	for _, ev := range p.Links {
+		if ev.Outage {
+			in.hasOutages = true
+		} else {
+			in.hasLinks = true
+		}
+	}
+	in.hasNodes = len(p.Nodes) > 0
+	return in
+}
+
+// Profile returns the schedule the injector runs.
+func (in *Injector) Profile() Profile {
+	if in == nil {
+		return Profile{}
+	}
+	return in.prof
+}
+
+// SetTelemetry installs chaos-event counters and one per-node
+// degradation gauge per entry of nodeNames. Handles are cached here so
+// ComputeTime and the fault path never do a registry lookup; a nil
+// Telemetry leaves all handles nil (nop).
+func (in *Injector) SetTelemetry(t *telemetry.Telemetry, nodeNames []string) {
+	if in == nil || !t.Enabled() {
+		return
+	}
+	m := t.Metrics()
+	lbl := telemetry.L("profile", in.prof.Name)
+	in.degradedCtr = m.Counter("hetmp_chaos_degraded_transfers_total", lbl)
+	in.outageCtr = m.Counter("hetmp_chaos_outage_stalls_total", lbl)
+	in.lossCtr = m.Counter("hetmp_chaos_lost_messages_total", lbl)
+	in.slowGauges = make([]*telemetry.Gauge, len(nodeNames))
+	in.lastSlow = make([]float64, len(nodeNames))
+	for i, name := range nodeNames {
+		in.slowGauges[i] = m.Gauge("hetmp_chaos_node_slowdown", telemetry.L("node", name))
+		in.slowGauges[i].Set(1)
+		in.lastSlow[i] = 1
+	}
+}
+
+// window evaluates a (start, dur, period) schedule at now. It returns
+// whether the window is open, and the next virtual time at which the
+// open/closed state may change (forever if it never will).
+func window(now, start, dur, period time.Duration) (open bool, boundary time.Duration) {
+	if dur <= 0 && period <= 0 {
+		// Open-ended: once it starts it never closes.
+		if now >= start {
+			return true, forever
+		}
+		return false, start
+	}
+	if now < start {
+		return false, start
+	}
+	t := now - start
+	if period <= 0 {
+		if t < dur {
+			return true, start + dur
+		}
+		return false, forever
+	}
+	ph := t % period
+	if ph < dur {
+		return true, now + (dur - ph)
+	}
+	return false, now + (period - ph)
+}
+
+// LinkAt returns the effective latency and bandwidth multipliers of
+// the link at virtual time now (both ≥ 1; 1 when undegraded). When
+// several windows overlap, the worst factor wins.
+func (in *Injector) LinkAt(now time.Duration) (latFactor, bwFactor float64) {
+	if in == nil || !in.hasLinks {
+		return 1, 1
+	}
+	return in.linkAtSlow(now)
+}
+
+func (in *Injector) linkAtSlow(now time.Duration) (latFactor, bwFactor float64) {
+	latFactor, bwFactor = 1, 1
+	for _, ev := range in.prof.Links {
+		if ev.Outage {
+			continue
+		}
+		if open, _ := window(now, ev.Start, ev.Duration, ev.Period); !open {
+			continue
+		}
+		if ev.LatencyFactor > latFactor {
+			latFactor = ev.LatencyFactor
+		}
+		if ev.BandwidthFactor > bwFactor {
+			bwFactor = ev.BandwidthFactor
+		}
+	}
+	if latFactor > 1 || bwFactor > 1 {
+		in.degradedCtr.Inc()
+	}
+	return latFactor, bwFactor
+}
+
+// OutageAt reports whether the link is down at now; if so it returns
+// the virtual time service resumes and the retransmit cost to pay on
+// top of the wait.
+func (in *Injector) OutageAt(now time.Duration) (resume time.Duration, retransmit time.Duration, down bool) {
+	if in == nil || !in.hasOutages {
+		return 0, 0, false
+	}
+	return in.outageAtSlow(now)
+}
+
+func (in *Injector) outageAtSlow(now time.Duration) (resume time.Duration, retransmit time.Duration, down bool) {
+	for _, ev := range in.prof.Links {
+		if !ev.Outage {
+			continue
+		}
+		open, until := window(now, ev.Start, ev.Duration, ev.Period)
+		if open && until > resume {
+			resume = until
+			retransmit = ev.RetransmitCost
+			down = true
+		}
+	}
+	if down {
+		in.outageCtr.Inc()
+	}
+	return resume, retransmit, down
+}
+
+// FaultLoss draws whether the next DSM protocol exchange loses a
+// message; if so it returns the retransmit penalty. Draws happen in
+// engine-serialized order, so the sequence is reproducible per seed.
+func (in *Injector) FaultLoss() (penalty time.Duration, lost bool) {
+	if in == nil || in.prof.LossProb <= 0 {
+		return 0, false
+	}
+	return in.faultLossSlow()
+}
+
+func (in *Injector) faultLossSlow() (penalty time.Duration, lost bool) {
+	if in.rng.Float64() >= in.prof.LossProb {
+		return 0, false
+	}
+	in.lossCtr.Inc()
+	return in.prof.LossPenalty, true
+}
+
+// nodeStateAt returns the node's issue-rate divisor at now, whether
+// the node is frozen, and the next boundary at which either may
+// change.
+func (in *Injector) nodeStateAt(node int, now time.Duration) (factor float64, frozen bool, boundary time.Duration) {
+	factor, boundary = 1, forever
+	for _, ev := range in.prof.Nodes {
+		if ev.Node != node {
+			continue
+		}
+		open, b := window(now, ev.Start, ev.Duration, ev.Period)
+		if b > now && b < boundary {
+			boundary = b
+		}
+		if !open {
+			continue
+		}
+		if ev.Freeze {
+			frozen = true
+		} else if ev.SlowFactor > factor {
+			factor = ev.SlowFactor
+		}
+	}
+	return factor, frozen, boundary
+}
+
+// ComputeTime converts a compute burst of undegraded length work,
+// issued by node at virtual time start, into its degraded duration by
+// piecewise-integrating the node's straggle/freeze schedule across
+// the burst.
+func (in *Injector) ComputeTime(node int, start, work time.Duration) time.Duration {
+	if in == nil || !in.hasNodes || work <= 0 {
+		return work
+	}
+	return in.computeTimeSlow(node, start, work)
+}
+
+func (in *Injector) computeTimeSlow(node int, start, work time.Duration) time.Duration {
+	now := start
+	remaining := work
+	// The iteration bound only trips on pathological schedules (it
+	// covers 4096 window edges within one burst); past it the rest of
+	// the burst runs undegraded rather than looping forever.
+	for i := 0; i < 4096; i++ {
+		factor, frozen, boundary := in.nodeStateAt(node, now)
+		in.reportSlowdown(node, factor, frozen)
+		if frozen {
+			// Freeze windows are validated bounded, so boundary is
+			// always a real edge here.
+			now = boundary
+			continue
+		}
+		if boundary == forever {
+			return now - start + scaleDur(remaining, factor)
+		}
+		span := boundary - now
+		progress := scaleDownDur(span, factor)
+		if progress >= remaining {
+			return now - start + scaleDur(remaining, factor)
+		}
+		remaining -= progress
+		now = boundary
+	}
+	return now - start + remaining
+}
+
+// reportSlowdown mirrors the node's current issue-rate divisor into
+// its cached gauge, writing only on change.
+func (in *Injector) reportSlowdown(node int, factor float64, frozen bool) {
+	if in.slowGauges == nil || node >= len(in.slowGauges) {
+		return
+	}
+	v := factor
+	if frozen {
+		v = math.Inf(1)
+	}
+	if in.lastSlow[node] == v {
+		return
+	}
+	in.lastSlow[node] = v
+	in.slowGauges[node].Set(v)
+}
+
+// scaleDur multiplies a duration by a factor ≥ 1, saturating instead
+// of overflowing.
+func scaleDur(d time.Duration, f float64) time.Duration {
+	if f <= 1 {
+		return d
+	}
+	v := float64(d) * f
+	if v >= float64(forever) {
+		return forever
+	}
+	return time.Duration(v)
+}
+
+// scaleDownDur divides a duration by a factor ≥ 1: the undegraded
+// work that fits into a degraded span of d.
+func scaleDownDur(d time.Duration, f float64) time.Duration {
+	if f <= 1 {
+		return d
+	}
+	return time.Duration(float64(d) / f)
+}

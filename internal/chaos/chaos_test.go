@@ -1,0 +1,199 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLinkAtWindows(t *testing.T) {
+	in := New(Profile{
+		Name: "t",
+		Links: []LinkEvent{
+			{Start: 10 * time.Millisecond, Duration: 10 * time.Millisecond, LatencyFactor: 4, BandwidthFactor: 2},
+			{Start: 15 * time.Millisecond, LatencyFactor: 2, BandwidthFactor: 8}, // open-ended
+		},
+	}, 1)
+	cases := []struct {
+		at      time.Duration
+		lat, bw float64
+	}{
+		{0, 1, 1},
+		{12 * time.Millisecond, 4, 2},
+		{16 * time.Millisecond, 4, 8}, // overlap: worst factor wins per axis
+		{25 * time.Millisecond, 2, 8}, // first window closed, open-ended persists
+	}
+	for _, c := range cases {
+		lat, bw := in.LinkAt(c.at)
+		if lat != c.lat || bw != c.bw {
+			t.Errorf("LinkAt(%v) = (%v, %v), want (%v, %v)", c.at, lat, bw, c.lat, c.bw)
+		}
+	}
+}
+
+func TestOutagePeriodic(t *testing.T) {
+	in := New(Profile{
+		Name: "t",
+		Links: []LinkEvent{{
+			Start: time.Millisecond, Duration: time.Millisecond, Period: 4 * time.Millisecond,
+			Outage: true, RetransmitCost: 50 * time.Microsecond,
+		}},
+	}, 1)
+	if _, _, down := in.OutageAt(500 * time.Microsecond); down {
+		t.Fatal("outage before start")
+	}
+	resume, cost, down := in.OutageAt(1500 * time.Microsecond)
+	if !down || resume != 2*time.Millisecond || cost != 50*time.Microsecond {
+		t.Fatalf("OutageAt(1.5ms) = (%v, %v, %v), want (2ms, 50µs, true)", resume, cost, down)
+	}
+	// Next period: window [5ms, 6ms).
+	if _, _, down := in.OutageAt(4 * time.Millisecond); down {
+		t.Fatal("outage inside the closed phase")
+	}
+	if resume, _, down := in.OutageAt(5500 * time.Microsecond); !down || resume != 6*time.Millisecond {
+		t.Fatalf("second period: resume %v, down %v", resume, down)
+	}
+}
+
+func TestComputeTimePiecewise(t *testing.T) {
+	in := New(Profile{
+		Name: "t",
+		Nodes: []NodeEvent{{
+			Node: 1, Start: 10 * time.Millisecond, Duration: 10 * time.Millisecond, SlowFactor: 4,
+		}},
+	}, 1)
+	// Unaffected node and unaffected time are identity.
+	if got := in.ComputeTime(0, 12*time.Millisecond, time.Millisecond); got != time.Millisecond {
+		t.Fatalf("other node degraded: %v", got)
+	}
+	if got := in.ComputeTime(1, 0, 5*time.Millisecond); got != 5*time.Millisecond {
+		t.Fatalf("before the window: %v", got)
+	}
+	// Entirely inside the window: ×4.
+	if got := in.ComputeTime(1, 12*time.Millisecond, time.Millisecond); got != 4*time.Millisecond {
+		t.Fatalf("inside the window: %v, want 4ms", got)
+	}
+	// Straddling the start: 2ms healthy + remaining 2ms at ×4 = 10ms.
+	if got := in.ComputeTime(1, 8*time.Millisecond, 4*time.Millisecond); got != 10*time.Millisecond {
+		t.Fatalf("straddling: %v, want 10ms", got)
+	}
+	// Straddling the end: 1ms of work fits ... window [10,20): at 19ms,
+	// 1ms degraded span completes 0.25ms of work; the rest runs healthy.
+	want := time.Millisecond + 750*time.Microsecond
+	if got := in.ComputeTime(1, 19*time.Millisecond, time.Millisecond); got != want {
+		t.Fatalf("tail: %v, want %v", got, want)
+	}
+}
+
+func TestComputeTimeFreeze(t *testing.T) {
+	in := New(Profile{
+		Name: "t",
+		Nodes: []NodeEvent{{
+			Node: 0, Start: 5 * time.Millisecond, Duration: 2 * time.Millisecond, Freeze: true,
+		}},
+	}, 1)
+	// Issued mid-freeze: waits out the window, then runs.
+	if got := in.ComputeTime(0, 6*time.Millisecond, time.Millisecond); got != 2*time.Millisecond {
+		t.Fatalf("frozen issue: %v, want 2ms", got)
+	}
+	// Issued before, crossing the freeze: 1ms work needs 4ms start→10ms?
+	// 4ms→5ms runs 1ms... exactly finishes at the freeze edge.
+	if got := in.ComputeTime(0, 4*time.Millisecond, time.Millisecond); got != time.Millisecond {
+		t.Fatalf("finishing at the edge: %v", got)
+	}
+	// 2ms of work from 4ms: 1ms runs, freeze [5,7), 1ms runs → 4ms total.
+	if got := in.ComputeTime(0, 4*time.Millisecond, 2*time.Millisecond); got != 4*time.Millisecond {
+		t.Fatalf("crossing the freeze: %v, want 4ms", got)
+	}
+}
+
+func TestFaultLossDeterministic(t *testing.T) {
+	prof := Profile{Name: "t", LossProb: 0.3, LossPenalty: 100 * time.Microsecond}
+	a, b := New(prof, 42), New(prof, 42)
+	other := New(prof, 43)
+	var sameAll, diffAny bool
+	sameAll = true
+	for i := 0; i < 200; i++ {
+		_, la := a.FaultLoss()
+		_, lb := b.FaultLoss()
+		_, lo := other.FaultLoss()
+		if la != lb {
+			sameAll = false
+		}
+		if la != lo {
+			diffAny = true
+		}
+	}
+	if !sameAll {
+		t.Error("same seed produced different loss sequences")
+	}
+	if !diffAny {
+		t.Error("different seeds produced identical loss sequences (suspicious)")
+	}
+}
+
+func TestNilInjectorIsNop(t *testing.T) {
+	var in *Injector
+	if lat, bw := in.LinkAt(time.Second); lat != 1 || bw != 1 {
+		t.Error("nil LinkAt not identity")
+	}
+	if _, _, down := in.OutageAt(time.Second); down {
+		t.Error("nil OutageAt reports an outage")
+	}
+	if _, lost := in.FaultLoss(); lost {
+		t.Error("nil FaultLoss loses messages")
+	}
+	if got := in.ComputeTime(3, time.Second, time.Millisecond); got != time.Millisecond {
+		t.Error("nil ComputeTime not identity")
+	}
+	in.SetTelemetry(nil, nil)
+	if !in.Profile().Empty() {
+		t.Error("nil Profile not empty")
+	}
+}
+
+func TestValidateRejectsBadSchedules(t *testing.T) {
+	bad := []Profile{
+		{Name: "p", LossProb: -0.1},
+		{Name: "p", LossProb: 1.5},
+		{Name: "p", LossProb: 0.1}, // loss without penalty
+		{Name: "p", Links: []LinkEvent{{Start: -time.Second}}},
+		{Name: "p", Links: []LinkEvent{{Period: time.Second}}},                            // periodic, zero duration
+		{Name: "p", Links: []LinkEvent{{Period: time.Second, Duration: 2 * time.Second}}}, // duration ≥ period
+		{Name: "p", Links: []LinkEvent{{Outage: true}}},                                   // unbounded outage
+		{Name: "p", Nodes: []NodeEvent{{Node: -1}}},
+		{Name: "p", Nodes: []NodeEvent{{Node: 0, Freeze: true}}}, // unbounded freeze
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("profile %d validated but should not have", i)
+		}
+	}
+	ok := Profile{
+		Name: "p", LossProb: 0.1, LossPenalty: time.Microsecond,
+		Links: []LinkEvent{{Start: time.Second, LatencyFactor: 2}},
+		Nodes: []NodeEvent{{Node: 1, Start: time.Second, Duration: time.Second, SlowFactor: 2}},
+	}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid profile rejected: %v", err)
+	}
+}
+
+func TestNamedProfilesValidate(t *testing.T) {
+	for _, name := range Profiles() {
+		for seed := int64(0); seed < 20; seed++ {
+			p, err := Named(name, seed)
+			if err != nil {
+				t.Fatalf("Named(%q, %d): %v", name, seed, err)
+			}
+			if err := p.Validate(); err != nil {
+				t.Errorf("Named(%q, %d) does not validate: %v", name, seed, err)
+			}
+			if p.Empty() {
+				t.Errorf("Named(%q, %d) injects nothing", name, seed)
+			}
+		}
+	}
+	if _, err := Named("no-such-profile", 1); err == nil {
+		t.Error("unknown profile name accepted")
+	}
+}

@@ -1,0 +1,117 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Named builds one of the canonical profiles, with its parameters
+// jittered deterministically from seed so different seeds explore
+// different (but reproducible) points of the same scenario family.
+// All windows are sized for the scaled simulations the experiment
+// suite runs (whole-run virtual times of milliseconds to seconds):
+// degradation sets in after a short healthy prefix so probe-time
+// decisions are made under good conditions and then go stale.
+//
+// Node events target node 1 — the first remote node of the two-node
+// paper platform; events for nodes a platform does not have are
+// simply never queried and therefore harmless.
+func Named(name string, seed int64) (Profile, error) {
+	rng := rand.New(rand.NewSource(seed))
+	// jitter returns a uniform draw from [lo, hi).
+	jitter := func(lo, hi float64) float64 { return lo + rng.Float64()*(hi-lo) }
+	ms := func(f float64) time.Duration { return time.Duration(f * float64(time.Millisecond)) }
+
+	switch name {
+	case "link-degrade":
+		// The soak scenario: a healthy link that permanently degrades
+		// mid-run (latency ×k, bandwidth ÷k).
+		k := jitter(16, 48)
+		return Profile{
+			Name: name,
+			Links: []LinkEvent{{
+				Start:           ms(jitter(0.5, 2)),
+				LatencyFactor:   k,
+				BandwidthFactor: k,
+			}},
+		}, nil
+	case "link-flap":
+		// Periodic transient outages with a retransmit cost.
+		period := ms(jitter(2, 5))
+		return Profile{
+			Name: name,
+			Links: []LinkEvent{{
+				Start:          ms(jitter(0.5, 1.5)),
+				Duration:       period / 4,
+				Period:         period,
+				Outage:         true,
+				RetransmitCost: time.Duration(jitter(50, 150) * float64(time.Microsecond)),
+			}},
+		}, nil
+	case "dsm-loss":
+		// Lossy transport: every fault risks a retransmit.
+		return Profile{
+			Name:        name,
+			LossProb:    jitter(0.02, 0.15),
+			LossPenalty: time.Duration(jitter(80, 200) * float64(time.Microsecond)),
+		}, nil
+	case "node-straggle":
+		// A remote node's issue rate collapses for long windows.
+		period := ms(jitter(4, 8))
+		return Profile{
+			Name: name,
+			Nodes: []NodeEvent{{
+				Node:       1,
+				Start:      ms(jitter(0.5, 2)),
+				Duration:   period / 2,
+				Period:     period,
+				SlowFactor: jitter(8, 32),
+			}},
+		}, nil
+	case "node-freeze":
+		// A remote node stops cold, repeatedly.
+		period := ms(jitter(5, 10))
+		return Profile{
+			Name: name,
+			Nodes: []NodeEvent{{
+				Node:     1,
+				Start:    ms(jitter(1, 3)),
+				Duration: period / 5,
+				Period:   period,
+				Freeze:   true,
+			}},
+		}, nil
+	case "mixed":
+		// Everything at once, at moderated intensity.
+		k := jitter(8, 16)
+		period := ms(jitter(4, 8))
+		return Profile{
+			Name:        name,
+			LossProb:    jitter(0.01, 0.05),
+			LossPenalty: time.Duration(jitter(80, 150) * float64(time.Microsecond)),
+			Links: []LinkEvent{
+				{Start: ms(jitter(1, 2)), LatencyFactor: k, BandwidthFactor: k},
+				{Start: ms(jitter(2, 4)), Duration: period / 8, Period: period,
+					Outage: true, RetransmitCost: 100 * time.Microsecond},
+			},
+			Nodes: []NodeEvent{{
+				Node:       1,
+				Start:      ms(jitter(1, 3)),
+				Duration:   period / 2,
+				Period:     period,
+				SlowFactor: jitter(4, 12),
+			}},
+		}, nil
+	default:
+		return Profile{}, fmt.Errorf("chaos: unknown profile %q (have %v)", name, Profiles())
+	}
+}
+
+// Profiles lists the names Named accepts, sorted.
+func Profiles() []string {
+	names := []string{"link-degrade", "link-flap", "dsm-loss", "node-straggle", "node-freeze", "mixed"}
+	sort.Strings(names)
+	return names
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"hetmp/internal/chaos"
 	"hetmp/internal/dsm"
 	"hetmp/internal/interconnect"
 	"hetmp/internal/machine"
@@ -32,6 +33,12 @@ type SimConfig struct {
 	// runtime layers its own spans and metrics on top via
 	// core.Options.Telemetry).
 	Telemetry *telemetry.Telemetry
+	// Chaos, when non-nil, injects the configured degradation
+	// schedule into this cluster: link factors and outages on the DSM
+	// fault path, and per-node straggle/freeze windows on compute.
+	// Construct one injector per Sim — sharing interleaves loss draws
+	// across runs and breaks seed reproducibility.
+	Chaos *chaos.Injector
 }
 
 // Sim is the virtual-time simulated cluster. It may execute exactly one
@@ -60,7 +67,7 @@ func NewSim(cfg SimConfig) (*Sim, error) {
 	if cfg.Protocol.Name == "" {
 		cfg.Protocol = interconnect.RDMA56()
 	}
-	cfg.Protocol = cfg.Protocol.WithTelemetry(cfg.Telemetry)
+	cfg.Protocol = cfg.Protocol.WithTelemetry(cfg.Telemetry).WithChaos(cfg.Chaos)
 	eng := simtime.NewEngine(cfg.Seed)
 	var rng = eng.Rand()
 	if !cfg.Jitter {
@@ -71,6 +78,14 @@ func NewSim(cfg SimConfig) (*Sim, error) {
 		return nil, err
 	}
 	space.SetTelemetry(cfg.Telemetry)
+	space.SetChaos(cfg.Chaos)
+	if cfg.Chaos != nil {
+		names := make([]string, len(cfg.Platform.Nodes))
+		for i, n := range cfg.Platform.Nodes {
+			names[i] = n.Name
+		}
+		cfg.Chaos.SetTelemetry(cfg.Telemetry, names)
+	}
 	llcs := make([]*perf.LLC, len(cfg.Platform.Nodes))
 	membw := make([]*simtime.Resource, len(cfg.Platform.Nodes))
 	for i, n := range cfg.Platform.Nodes {
@@ -174,6 +189,16 @@ func (e *simEnv) compute(ops, rate float64) {
 		return
 	}
 	d := time.Duration(ops / rate * float64(time.Second))
+	if ch := e.c.cfg.Chaos; ch != nil {
+		// Straggle/freeze windows stretch the burst in virtual time;
+		// Busy keeps the undegraded duration (the work is the same,
+		// the node is just slower), so utilization reports show the
+		// slowdown as lost time rather than inflated work.
+		e.ctr.Instructions += int64(ops)
+		e.ctr.Busy += d
+		e.proc.Advance(ch.ComputeTime(e.node, e.proc.Now(), d))
+		return
+	}
 	e.ctr.Instructions += int64(ops)
 	e.ctr.Busy += d
 	e.proc.Advance(d)

@@ -108,7 +108,8 @@ func (a *App) runHetProbe(regionID string, n int, spec HetProbeSpec, body Body, 
 	}
 
 	// Aggregate the probe measurements.
-	stats := summarizeProbe(fullTeam, probeDesc.results)
+	stats, rejected := summarizeMeasurements(probeDesc.results)
+	rt.rejectCtr.Add(int64(rejected))
 	ent.update(stats, rt.opts.EWMAAlpha)
 	ent.cumTime += stats.windowTime
 	ent.decision = rt.decide(ent, spec)
@@ -127,7 +128,12 @@ func (a *App) runHetProbe(regionID string, n int, spec HetProbeSpec, body Body, 
 	// artificially cache-warm). The paper gets the same effect from
 	// region-wide offline counter collection.
 	if n > probeIters {
-		rem := a.executeDecisionMeasured(ent.decision, spec, probeIters, n, body, red)
+		var rem []measurement
+		if rt.opts.ReDecide {
+			rem = a.monitorRemainder(regionID, ent, spec, probeIters, n, body, red)
+		} else {
+			rem = a.executeDecisionMeasured(ent.decision, spec, probeIters, n, body, red)
+		}
 		if red != nil {
 			red.out = red.combine(probePartial, red.out)
 		}
@@ -217,37 +223,43 @@ type probeStats struct {
 	windowTime  time.Duration
 }
 
-// summarizeProbe turns per-worker measurements into per-node statistics
-// and the global fault period / cache-miss metrics.
-func summarizeProbe(t *team, results []measurement) probeStats {
+// summarizeMeasurements turns per-worker measurements into per-node
+// statistics and the global fault period / cache-miss metrics. It
+// also sanitizes: corrupted measurements (negative fields, or
+// iterations that took no time) are dropped and counted instead of
+// poisoning the per-iteration model; idle workers are skipped.
+func summarizeMeasurements(results []measurement) (probeStats, int) {
 	type agg struct {
 		elapsed time.Duration
 		iters   int
 	}
-	perNode := make(map[int]agg, len(t.nodes))
+	rejected := 0
+	perNode := make(map[int]agg)
 	var totalElapsed time.Duration
 	var totalFaults, totalInstr, totalMisses int64
-	flat := 0
-	for _, node := range t.nodes {
-		for i := 0; i < t.perNode[node]; i++ {
-			m := results[flat]
-			flat++
-			a := perNode[node]
-			// Core speed ratios compare the nodes' compute + local
-			// memory behaviour; DSM fault stalls are excluded (at
-			// scale-model sizes the probe chunks are too small to
-			// amortize them, and faults vanish once data settles —
-			// including them creates an unstable redistribution
-			// feedback loop). The fault *period* below still uses the
-			// full elapsed time, as the paper specifies.
-			a.elapsed += m.elapsed - m.delta.FaultStall
-			a.iters += m.iters
-			perNode[node] = a
-			totalElapsed += m.elapsed
-			totalFaults += m.delta.RemoteFaults
-			totalInstr += m.delta.Instructions
-			totalMisses += m.delta.LLCMisses
+	for _, m := range results {
+		switch {
+		case m.iters < 0 || m.elapsed < 0 || (m.iters > 0 && m.elapsed == 0):
+			rejected++
+			continue
+		case m.iters == 0:
+			continue
 		}
+		a := perNode[m.node]
+		// Core speed ratios compare the nodes' compute + local
+		// memory behaviour; DSM fault stalls are excluded (at
+		// scale-model sizes the probe chunks are too small to
+		// amortize them, and faults vanish once data settles —
+		// including them creates an unstable redistribution
+		// feedback loop). The fault *period* below still uses the
+		// full elapsed time, as the paper specifies.
+		a.elapsed += m.elapsed - m.delta.FaultStall
+		a.iters += m.iters
+		perNode[m.node] = a
+		totalElapsed += m.elapsed
+		totalFaults += m.delta.RemoteFaults
+		totalInstr += m.delta.Instructions
+		totalMisses += m.delta.LLCMisses
 	}
 	stats := probeStats{perIter: make(map[int]time.Duration, len(perNode))}
 	for node, a := range perNode {
@@ -266,12 +278,23 @@ func summarizeProbe(t *team, results []measurement) probeStats {
 	stats.instr = totalInstr
 	stats.misses = totalMisses
 	stats.windowTime = totalElapsed
-	return stats
+	return stats, rejected
 }
 
 // decide answers the scheduler's three questions (Section 3.2): use
-// multiple nodes? with what split? or which single node?
+// multiple nodes? with what split? or which single node? Nodes the
+// ReDecide monitor has condemned for this region stay excluded.
 func (rt *Runtime) decide(ent *probeEntry, spec HetProbeSpec) Decision {
+	return rt.decideWith(ent, spec, ent.suspects)
+}
+
+// decideWith is decide with a suspect set: excluded nodes (stragglers
+// or nodes behind a degraded link, identified by the ReDecide
+// monitor) are never enabled for cross-node execution, and when the
+// exclusion empties the remote set the fallback is forced to the
+// origin node — Q3's cache heuristics could otherwise pick one of the
+// very nodes the monitor just condemned.
+func (rt *Runtime) decideWith(ent *probeEntry, spec HetProbeSpec, exclude map[int]bool) Decision {
 	d := Decision{
 		FaultPeriod:    ent.faultPeriod,
 		MissesPerKinst: ent.missPerK,
@@ -292,7 +315,7 @@ func (rt *Runtime) decide(ent *probeEntry, spec HetProbeSpec) Decision {
 	origin := rt.cl.Origin()
 	enabled := []int{origin}
 	for node := range specs {
-		if node == origin {
+		if node == origin || exclude[node] {
 			continue
 		}
 		if ent.faultPeriod >= rt.nodeThreshold(node) {
@@ -332,6 +355,12 @@ func (rt *Runtime) decide(ent *probeEntry, spec HetProbeSpec) Decision {
 	// rates favor raw parallelism (Section 3.2's Xeon vs ThunderX
 	// dichotomy).
 	d.CrossNode = false
+	if len(exclude) > 0 {
+		// Mid-region fallback under suspicion: the origin holds the
+		// data and is never excluded.
+		d.Node = origin
+		return d
+	}
 	if spec.ForceNode >= 0 {
 		d.Node = spec.ForceNode
 		return d

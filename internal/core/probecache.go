@@ -17,6 +17,11 @@ type probeEntry struct {
 	prevMissPerK float64 // value before the last update (-1 on first)
 	cumTime      time.Duration
 	decision     Decision
+	// suspects are nodes the ReDecide monitor condemned (stragglers,
+	// degraded links). They stay excluded from every later decision
+	// derived from this entry — including the post-region miss-rate
+	// refinement and subsequent invocations — until the entry is reset.
+	suspects map[int]bool
 }
 
 // update folds a new probing period into the entry.

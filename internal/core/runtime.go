@@ -71,6 +71,30 @@ type Options struct {
 	// folded back into the probe cache and the decision is re-derived,
 	// falling back to single-node execution on the next invocation.
 	AdaptiveMonitor bool
+	// ReDecide enables mid-region monitoring (the chaos-hardening
+	// layer): after HetProbe decides, the remaining iterations run in
+	// MonitorWindows windows whose per-node progress is compared
+	// against the decision-time expectation. A node whose observed
+	// per-iteration time exceeds ReDecideFactor × the expectation
+	// (a straggler, a frozen node, or a degraded link inflating fault
+	// stalls) triggers a bounded re-probe → re-decision that can
+	// revise cross-node sharing down to origin-node-only execution
+	// mid-region, without re-executing any iteration. Off by default;
+	// when off, the execution path is identical to the unmonitored
+	// runtime.
+	ReDecide bool
+	// ReDecideFactor is the progress-watermark blowup that marks a
+	// node suspect. Defaults to 3 — high enough that fault-stall
+	// accounting differences between the probe window (stall
+	// excluded) and monitored windows (stall included) cannot trip it
+	// on a healthy link.
+	ReDecideFactor float64
+	// MaxReDecisions bounds how many re-probe → re-decision rounds
+	// one region invocation may perform. Defaults to 2.
+	MaxReDecisions int
+	// MonitorWindows is how many windows the post-decision remainder
+	// is split into when ReDecide is on. Defaults to 8.
+	MonitorWindows int
 	// NodeThresholds optionally overrides FaultPeriodThreshold per
 	// node, implementing the paper's Section 5 extension to three or
 	// more nodes: "this break-even point is different for every node
@@ -110,6 +134,15 @@ func (o Options) withDefaults() Options {
 	if o.EWMAAlpha == 0 {
 		o.EWMAAlpha = 0.7
 	}
+	if o.ReDecideFactor == 0 {
+		o.ReDecideFactor = 3
+	}
+	if o.MaxReDecisions == 0 {
+		o.MaxReDecisions = 2
+	}
+	if o.MonitorWindows == 0 {
+		o.MonitorWindows = 8
+	}
 	return o
 }
 
@@ -127,6 +160,11 @@ type Runtime struct {
 	tracer    *telemetry.Tracer
 	iterCtrs  []*telemetry.Counter // per node: iterations executed
 	regionCtr map[string]*telemetry.Counter
+	// Monitoring handles + counter (ReDecide).
+	reprobeCtr  *telemetry.Counter
+	redecideCtr *telemetry.Counter
+	rejectCtr   *telemetry.Counter
+	reDecisions int
 }
 
 // New builds a runtime on the given cluster.
@@ -147,6 +185,9 @@ func New(cl cluster.Cluster, opts Options) *Runtime {
 			rt.tracer.NameTrack(workerTrack(i, -1), "node "+strconv.Itoa(i)+" ("+s.Name+")", "master")
 		}
 		rt.regionCtr = make(map[string]*telemetry.Counter)
+		rt.reprobeCtr = m.Counter("hetmp_hetprobe_reprobes_total")
+		rt.redecideCtr = m.Counter("hetmp_hetprobe_redecisions_total")
+		rt.rejectCtr = m.Counter("hetmp_hetprobe_rejected_measurements_total")
 	}
 	return rt
 }
@@ -175,6 +216,11 @@ func (rt *Runtime) Options() Options { return rt.opts }
 
 // Cluster returns the underlying cluster.
 func (rt *Runtime) Cluster() cluster.Cluster { return rt.cl }
+
+// ReDecisions reports how many mid-region re-decisions (adopted
+// decision revisions triggered by the ReDecide monitor) the runtime
+// has performed.
+func (rt *Runtime) ReDecisions() int { return rt.reDecisions }
 
 // Decision returns HetProbe's cached decision for a region, if any.
 func (rt *Runtime) Decision(regionID string) (Decision, bool) {

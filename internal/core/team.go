@@ -19,6 +19,7 @@ type workerID struct {
 
 // measurement is what one worker records for a probed region.
 type measurement struct {
+	node    int
 	iters   int
 	elapsed time.Duration
 	delta   perf.Counters
@@ -145,6 +146,7 @@ func (t *team) workerLoop(e cluster.Env, w workerID) {
 			desc.sched.runWorker(e, w, t, desc, ws)
 			end := e.Now()
 			desc.results[w.flat] = measurement{
+				node:    w.node,
 				iters:   ws.iters,
 				elapsed: end - t0,
 				delta:   e.Counters().Sub(before),

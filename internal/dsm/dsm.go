@@ -18,6 +18,7 @@ import (
 	"math/rand"
 	"time"
 
+	"hetmp/internal/chaos"
 	"hetmp/internal/interconnect"
 	"hetmp/internal/machine"
 	"hetmp/internal/simtime"
@@ -70,6 +71,7 @@ type Space struct {
 	nextAddr int64
 	stats    []NodeStats
 	tel      *telHooks
+	chaos    *chaos.Injector
 }
 
 // telHooks caches per-node metric handles so the fault path avoids
@@ -109,6 +111,14 @@ func (s *Space) SetTelemetry(t *telemetry.Telemetry) {
 	}
 	s.tel = h
 }
+
+// SetChaos installs a degradation injector on the fault path: faults
+// that land in a link outage stall until service resumes (plus the
+// retransmit cost), lossy transports charge a retransmit penalty per
+// lost message, and protocol costs are computed from the link state
+// effective at fault time. A nil injector (the default) disables all
+// of it for one pointer test per fault.
+func (s *Space) SetChaos(in *chaos.Injector) { s.chaos = in }
 
 // NewSpace creates a coherence domain for the given nodes and protocol.
 // rng (may be nil) supplies interconnect jitter.
@@ -272,16 +282,35 @@ func (r *Region) accessPage(p *simtime.Proc, node int, pg int64, write bool) Acc
 	owner := r.sourceNode(st)
 	start := p.Now()
 
+	// Chaos fault path: a fault into a link outage blocks until the
+	// link is back and pays the retransmit cost; a lossy transport
+	// charges a retransmit penalty. Both stalls land inside the
+	// [start, Now) window, so they count as protocol stall — exactly
+	// how a retransmitted page request looks to the faulting thread.
+	proto := s.proto
+	if ch := s.chaos; ch != nil {
+		if resume, retransmit, down := ch.OutageAt(p.Now()); down {
+			p.AdvanceTo(resume)
+			p.Advance(retransmit)
+		}
+		if penalty, lost := ch.FaultLoss(); lost {
+			p.Advance(penalty)
+		}
+		// Protocol costs reflect the link state at (post-outage)
+		// fault-service time.
+		proto = proto.EffectiveAt(p.Now())
+	}
+
 	// Transfer the page data unless the requester already holds a valid
 	// read copy (a write upgrade revokes other copies but moves no
 	// data).
 	needsData := st.copyset&bit == 0
 	if needsData {
-		cost := s.proto.PageFault(s.nodes[node], s.nodes[owner], PageSize, s.rng)
+		cost := proto.PageFault(s.nodes[node], s.nodes[owner], PageSize, s.rng)
 		// Requester-side software path, paid inline.
 		p.Advance(cost.Inline)
 		// Owner's DSM worker pool services the request (queues under load).
-		s.handlers[owner].Use(p, s.proto.EffectiveOwnerService(cost.Owner))
+		s.handlers[owner].Use(p, proto.EffectiveOwnerService(cost.Owner))
 		// The wire carries the page.
 		s.wire.Use(p, cost.Wire)
 		s.stats[node].BytesIn += PageSize
@@ -303,9 +332,9 @@ func (r *Region) accessPage(p *simtime.Proc, node int, pg int64, write bool) Acc
 				s.noteInvalidation(other)
 				continue
 			}
-			inv := s.proto.ControlMessage(s.nodes[node], s.nodes[other])
+			inv := proto.ControlMessage(s.nodes[node], s.nodes[other])
 			p.Advance(inv.Inline)
-			s.handlers[other].Use(p, s.proto.EffectiveOwnerService(inv.Owner))
+			s.handlers[other].Use(p, proto.EffectiveOwnerService(inv.Owner))
 			s.noteInvalidation(other)
 		}
 		st.writer = int8(node)

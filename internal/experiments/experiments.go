@@ -12,6 +12,7 @@ import (
 	"sort"
 	"time"
 
+	"hetmp/internal/chaos"
 	"hetmp/internal/cluster"
 	"hetmp/internal/core"
 	"hetmp/internal/interconnect"
@@ -53,6 +54,15 @@ type Suite struct {
 	// runtime, DSM and interconnect layers record spans and metrics
 	// into it (hetmprun's -trace/-metrics flags use this).
 	Telemetry *telemetry.Telemetry
+	// ChaosProfile, when non-empty, names a chaos.Named degradation
+	// profile injected into every Run (NOT into threshold calibration,
+	// which must measure the healthy substrate). It also enables the
+	// runtime's ReDecide monitor so HetProbe can revise its decision
+	// mid-region when the injected degradation bites.
+	ChaosProfile string
+	// ChaosSeed seeds the profile's jittered schedule and loss draws;
+	// the same seed reproduces the same chaos bit-for-bit.
+	ChaosSeed int64
 
 	thresholds map[string]time.Duration
 	csrCache   map[string]map[int]float64
@@ -140,6 +150,9 @@ type Result struct {
 	Time      time.Duration
 	Faults    int64
 	Decisions map[string]core.Decision
+	// ReDecisions counts mid-region HetProbe decision revisions (only
+	// non-zero when a chaos profile is active).
+	ReDecisions int
 }
 
 // dynChunks holds the per-benchmark chunk sizes for the Cross-Node
@@ -190,12 +203,21 @@ func (s *Suite) Run(bench, config string, proto interconnect.Spec) (Result, erro
 	if err != nil {
 		return Result{}, err
 	}
+	var inj *chaos.Injector
+	if s.ChaosProfile != "" {
+		p, err := chaos.Named(s.ChaosProfile, s.ChaosSeed)
+		if err != nil {
+			return Result{}, err
+		}
+		inj = chaos.New(p, s.ChaosSeed)
+	}
 	cl, err := cluster.NewSim(cluster.SimConfig{
 		Platform:      s.platform(which),
 		Protocol:      proto.Scaled(s.TimeScale),
 		Seed:          s.Seed,
 		MigrationCost: time.Duration(200 * float64(time.Microsecond) * s.TimeScale),
 		Telemetry:     s.Telemetry,
+		Chaos:         inj,
 	})
 	if err != nil {
 		return Result{}, err
@@ -204,6 +226,7 @@ func (s *Suite) Run(bench, config string, proto interconnect.Spec) (Result, erro
 		FaultPeriodThreshold: th,
 		ProbeRegionID:        k.ProbeRegion(),
 		Telemetry:            s.Telemetry,
+		ReDecide:             inj != nil,
 	})
 	if err := rt.Run(func(a *core.App) { k.Run(a, kernels.Fixed(sched)) }); err != nil {
 		return Result{}, fmt.Errorf("%s/%s: %w", bench, config, err)
@@ -214,11 +237,12 @@ func (s *Suite) Run(bench, config string, proto interconnect.Spec) (Result, erro
 		}
 	}
 	return Result{
-		Benchmark: bench,
-		Config:    config,
-		Time:      cl.Elapsed(),
-		Faults:    cl.DSMFaults(),
-		Decisions: rt.Decisions(),
+		Benchmark:   bench,
+		Config:      config,
+		Time:        cl.Elapsed(),
+		Faults:      cl.DSMFaults(),
+		Decisions:   rt.Decisions(),
+		ReDecisions: rt.ReDecisions(),
 	}, nil
 }
 

@@ -1,8 +1,10 @@
 package rpc
 
 import (
+	"errors"
 	"math"
 	"net"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -333,6 +335,53 @@ func TestTransientDropIsRetriedSuccessfully(t *testing.T) {
 	if f.Redistributed != 0 {
 		t.Errorf("flaky worker shows %d redistributed iterations, want 0", f.Redistributed)
 	}
+}
+
+// TestAllDieBeforeFirstChunkNoLeak pins the worst-case startup
+// failure: every worker dies on its very first request, before a
+// single chunk completes. The run must fail with the typed
+// ErrNoSurvivors, and it must not leak the retry/redial machinery —
+// goroutine count returns to baseline once the pool is closed.
+func TestAllDieBeforeFirstChunkNoLeak(t *testing.T) {
+	registerTestTasks(t)
+	before := runtime.NumGoroutine()
+
+	aAddr, _ := startFaultyWorker(t, "doa-a", 0, &FaultConfig{DropAfter: 1})
+	bAddr, _ := startFaultyWorker(t, "doa-b", 0, &FaultConfig{DropAfter: 1})
+	pool, err := Dial(aAddr, bAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.RedialInterval = 5 * time.Millisecond // exercise the redial path too
+
+	_, stats, err := pool.Run("count", 20000, 0, fastOpts())
+	if err == nil {
+		t.Fatal("run with every worker dead-on-arrival succeeded")
+	}
+	if !errors.Is(err, ErrNoSurvivors) {
+		t.Errorf("err = %v, want errors.Is(err, ErrNoSurvivors)", err)
+	}
+	for _, s := range stats {
+		if s.Alive {
+			t.Errorf("worker %s reported alive after dying on its first request", s.Name)
+		}
+		if s.Iterations != 0 {
+			t.Errorf("worker %s accounted %d iterations without completing a chunk", s.Name, s.Iterations)
+		}
+	}
+	pool.Close()
+
+	// Every pool goroutine (batch runners, redial loops) must be gone.
+	// Poll with tolerance: test-server accept loops (cleaned up later by
+	// t.Cleanup) and runtime background goroutines add slack.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+4 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines %d, baseline %d: pool leaked goroutines after Close", runtime.NumGoroutine(), before)
 }
 
 func TestAllWorkersDeadFailsFast(t *testing.T) {

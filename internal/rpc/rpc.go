@@ -42,6 +42,11 @@ import (
 	"hetmp/internal/telemetry"
 )
 
+// ErrNoSurvivors is returned (wrapped) by Pool.Run when every worker
+// died before the run could finish. Test with errors.Is; the wrapping
+// error carries how many iterations were left and the last failure.
+var ErrNoSurvivors = errors.New("all workers failed")
+
 // Task computes a partial result over iterations [lo, hi). arg is an
 // opaque scalar parameter (e.g. a sweep setting). Tasks must be pure:
 // the pool may re-execute ranges on failure.
@@ -569,14 +574,27 @@ func (p *Pool) dropWorker(w *worker) {
 			break
 		}
 	}
+	// The WaitGroup Add must happen under the same lock that Close uses
+	// to flip closed: if it moved after Unlock, Close could pass its
+	// Wait between our closed check and the Add, and the redial
+	// goroutine would outlive Close.
+	redial := p.RedialInterval > 0 && !p.closed
+	if redial {
+		p.redialWG.Add(1)
+	}
 	interval := p.RedialInterval
-	closed := p.closed
 	p.mu.Unlock()
 	w.closeConn()
-	if interval > 0 && !closed {
-		p.redialWG.Add(1)
+	if redial {
 		go p.redialLoop(w.addr, interval)
 	}
+}
+
+// isClosed reports whether Close has begun.
+func (p *Pool) isClosed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed
 }
 
 func (p *Pool) redialLoop(addr string, interval time.Duration) {
@@ -827,8 +845,8 @@ func (r *run) execute(n int, probeFrac float64, combine func(a, b float64) float
 			if lastErr == nil {
 				lastErr = errors.New("no live workers")
 			}
-			return 0, r.stats, fmt.Errorf("rpc: %d iterations unrecoverable, all workers failed: %w",
-				spanCount(pending), lastErr)
+			return 0, r.stats, fmt.Errorf("rpc: %d iterations unrecoverable, %w: %w",
+				spanCount(pending), ErrNoSurvivors, lastErr)
 		}
 		assigns := r.apportionSpans(pending, live)
 		pending = nil
@@ -965,6 +983,11 @@ func (r *run) callChunk(i int, sp span) (response, error) {
 	var lastErr error
 	for attempt := 0; attempt <= r.retries; attempt++ {
 		if attempt > 0 {
+			if r.pool.isClosed() {
+				// Never re-dial into a closed pool: the fresh
+				// connection would outlive Close.
+				return response{}, fmt.Errorf("rpc: %s: pool closed during retry: %w", w.name, lastErr)
+			}
 			time.Sleep(r.backoff << (attempt - 1))
 			r.stats[i].Retries++
 			r.metrics.Counter("hetmp_rpc_retries_total", r.workerLabel(i)).Inc()
@@ -974,6 +997,13 @@ func (r *run) callChunk(i int, sp span) (response, error) {
 				continue
 			}
 			w.adopt(fresh)
+			if r.pool.isClosed() {
+				// Close may have swept the workers between our check
+				// and the adopt; make sure the fresh connection dies
+				// with the pool either way.
+				w.closeConn()
+				return response{}, fmt.Errorf("rpc: %s: pool closed during retry: %w", w.name, lastErr)
+			}
 		}
 		resp, err := w.call(r.task, sp.lo, sp.hi, r.arg, false, r.timeout)
 		if err == nil {
