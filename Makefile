@@ -36,3 +36,34 @@ chaos:
 # minutes; see EXPERIMENTS.md for the committed summary).
 results:
 	$(GO) run ./cmd/hetbench -json results_full.json | tee results_full.txt
+
+# ------------------------------------------------------- benchmarks
+
+BENCH_JSON := BENCH_hetmp.json
+BENCH_FLAGS := -run '^$$' -bench . -benchtime 1x -count 1
+
+# Regenerate the committed benchmark baseline: the quick suite, one
+# iteration per benchmark, converted to JSON (ns/op + every custom
+# virtual-time metric). Commit the refreshed $(BENCH_JSON) together
+# with the change that moved the numbers.
+.PHONY: bench
+bench:
+	$(GO) test $(BENCH_FLAGS) . | tee /tmp/bench_hetmp.txt
+	$(GO) run ./cmd/benchjson -suite quick -o $(BENCH_JSON) < /tmp/bench_hetmp.txt
+
+# Compare a fresh run against the committed baseline on this machine
+# (wall-clock included, 20% budget).
+.PHONY: bench-guard
+bench-guard:
+	$(GO) test $(BENCH_FLAGS) . > /tmp/bench_hetmp_current.txt
+	$(GO) run ./cmd/benchjson -suite quick -o /tmp/BENCH_current.json < /tmp/bench_hetmp_current.txt
+	$(GO) run ./cmd/benchguard -baseline $(BENCH_JSON) -current /tmp/BENCH_current.json
+
+# CI benchmark smoke: same comparison but without wall-clock (runner
+# hardware differs from the baseline machine); the deterministic
+# virtual-time metrics are the cross-machine regression signal.
+.PHONY: bench-smoke
+bench-smoke:
+	$(GO) test $(BENCH_FLAGS) . > /tmp/bench_hetmp_current.txt
+	$(GO) run ./cmd/benchjson -suite quick -o /tmp/BENCH_current.json < /tmp/bench_hetmp_current.txt
+	$(GO) run ./cmd/benchguard -baseline $(BENCH_JSON) -current /tmp/BENCH_current.json -skip-time

@@ -1,0 +1,112 @@
+// Command benchguard compares a fresh benchmark snapshot against the
+// committed baseline (BENCH_hetmp.json) and fails on regressions, in
+// the style of benchstat but suited to this repo's two signal classes:
+//
+//   - ns/op is wall-clock and machine-dependent: a candidate may be up
+//     to -tolerance (default 20%) slower than baseline before the guard
+//     fails; improvements always pass. Use -skip-time on CI runners
+//     whose hardware differs from the baseline machine.
+//   - custom metrics are virtual-time results, deterministic across
+//     machines: any drift beyond -metric-tolerance (default 0, exact)
+//     is a behavioral change, not noise, and fails in both directions.
+//
+// Usage:
+//
+//	benchguard -baseline BENCH_hetmp.json -current /tmp/BENCH_current.json [-skip-time]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"hetmp/internal/benchfmt"
+)
+
+func main() {
+	var (
+		basePath  = flag.String("baseline", "BENCH_hetmp.json", "committed baseline file")
+		curPath   = flag.String("current", "", "freshly measured snapshot (benchjson output)")
+		tolerance = flag.Float64("tolerance", 0.20, "allowed ns/op slowdown vs baseline (0.20 = 20%)")
+		metricTol = flag.Float64("metric-tolerance", 0, "allowed relative drift for custom (virtual-time) metrics")
+		skipTime  = flag.Bool("skip-time", false, "skip ns/op comparison (cross-machine CI); custom metrics still guard")
+	)
+	flag.Parse()
+	if *curPath == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -current is required")
+		os.Exit(2)
+	}
+	base, err := benchfmt.Load(*basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	cur, err := benchfmt.Load(*curPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	failures := compare(base, cur, *tolerance, *metricTol, *skipTime)
+	for _, f := range failures {
+		fmt.Println("FAIL:", f)
+	}
+	if len(failures) > 0 {
+		fmt.Printf("benchguard: %d regression(s) vs %s\n", len(failures), *basePath)
+		os.Exit(1)
+	}
+	fmt.Printf("benchguard: %d benchmarks within budget (ns/op tolerance %.0f%%, metric tolerance %g%%, skip-time=%v)\n",
+		len(base.Benchmarks), *tolerance*100, *metricTol*100, *skipTime)
+}
+
+func compare(base, cur *benchfmt.File, tolerance, metricTol float64, skipTime bool) []string {
+	var failures []string
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		c, ok := cur.Benchmarks[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from current snapshot", name))
+			continue
+		}
+		if !skipTime && b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*(1+tolerance) {
+			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op, %.1f%% slower than baseline %.0f (budget %.0f%%)",
+				name, c.NsPerOp, (c.NsPerOp/b.NsPerOp-1)*100, b.NsPerOp, tolerance*100))
+		}
+		metrics := make([]string, 0, len(b.Metrics))
+		for m := range b.Metrics {
+			metrics = append(metrics, m)
+		}
+		sort.Strings(metrics)
+		for _, m := range metrics {
+			bv := b.Metrics[m]
+			cv, ok := c.Metrics[m]
+			if !ok {
+				failures = append(failures, fmt.Sprintf("%s: metric %q missing from current snapshot", name, m))
+				continue
+			}
+			if !within(bv, cv, metricTol) {
+				failures = append(failures, fmt.Sprintf("%s: metric %q = %g, baseline %g (deterministic virtual-time value drifted)",
+					name, m, cv, bv))
+			}
+		}
+	}
+	return failures
+}
+
+// within reports whether cur is within rel relative drift of base
+// (exact match required when rel is 0 or base is 0).
+func within(base, cur, rel float64) bool {
+	if base == cur {
+		return true
+	}
+	if base == 0 || rel == 0 {
+		return false
+	}
+	return math.Abs(cur-base)/math.Abs(base) <= rel
+}

@@ -1,0 +1,104 @@
+// Command benchjson converts `go test -bench` text output into the
+// repository's benchmark baseline format (BENCH_hetmp.json): ns/op plus
+// every custom metric (the per-figure virtual-time quantities reported
+// via b.ReportMetric). The JSON is stable — map keys marshal sorted —
+// so regenerated baselines diff cleanly.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime 1x . | benchjson -o BENCH_hetmp.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hetmp/internal/benchfmt"
+)
+
+func main() {
+	var (
+		out   = flag.String("o", "", "output file (default: stdout)")
+		suite = flag.String("suite", "", `optional label recorded in the file (e.g. "quick")`)
+	)
+	flag.Parse()
+	file, err := parse(os.Stdin, *suite)
+	if err == nil {
+		err = write(file, *out)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(r *os.File, suite string) (*benchfmt.File, error) {
+	file := &benchfmt.File{Suite: suite, Benchmarks: map[string]benchfmt.Bench{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// BenchmarkName-P  N  <value> <unit> [<value> <unit>]...
+		if len(fields) < 4 {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		b := benchfmt.Bench{Metrics: map[string]float64{}}
+		if prev, ok := file.Benchmarks[name]; ok {
+			b = prev // -count > 1: keep min ns/op, metrics are identical
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad value %q", name, fields[i])
+			}
+			unit := fields[i+1]
+			if unit == "ns/op" {
+				if b.NsPerOp == 0 || v < b.NsPerOp {
+					b.NsPerOp = v
+				}
+				continue
+			}
+			b.Metrics[unit] = v
+		}
+		file.Benchmarks[name] = b
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(file.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no Benchmark lines found on stdin")
+	}
+	return file, nil
+}
+
+func write(file *benchfmt.File, out string) error {
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks written to %s\n", len(file.Benchmarks), out)
+	return nil
+}

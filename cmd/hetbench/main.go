@@ -15,11 +15,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"hetmp/internal/chaos"
 	"hetmp/internal/experiments"
 	"hetmp/internal/machine"
+	"hetmp/internal/profiling"
 )
 
 func main() {
@@ -30,11 +32,24 @@ func main() {
 		scale   = flag.Float64("scale", 0, "override the benchmark scale factor")
 		jsonOut = flag.String("json", "", `also write results as JSON to this file ("-" = stdout; durations are nanoseconds)`)
 
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "max experiment runs in flight; results are byte-identical to -parallel 1")
+		batch    = flag.Bool("batch-faults", false, "enable the DSM's batched-fault protocol in every run and in calibration")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole evaluation to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile (post-GC, at exit) to this file")
+
 		chaosProfile = flag.String("chaos-profile", "", "inject a named degradation profile into every run: "+strings.Join(chaos.Profiles(), " | "))
 		chaosSeed    = flag.Int64("chaos-seed", 1, "seed for the chaos schedule; same seed = same degradation, bit for bit")
 	)
 	flag.Parse()
-	if err := run(*quick, *only, *setup, *scale, *jsonOut, *chaosProfile, *chaosSeed); err != nil {
+	stop, err := profiling.Start(*cpuProfile, *memProfile)
+	if err == nil {
+		err = run(*quick, *only, *setup, *scale, *jsonOut, *chaosProfile, *chaosSeed, *parallel, *batch)
+		if perr := stop(); err == nil {
+			err = perr
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "hetbench:", err)
 		os.Exit(1)
 	}
@@ -93,7 +108,7 @@ func writeReport(rep *Report, path string) error {
 	return nil
 }
 
-func run(quick bool, only string, setup bool, scale float64, jsonOut, chaosProfile string, chaosSeed int64) error {
+func run(quick bool, only string, setup bool, scale float64, jsonOut, chaosProfile string, chaosSeed int64, parallel int, batch bool) error {
 	if setup {
 		printSetup()
 		return nil
@@ -107,6 +122,8 @@ func run(quick bool, only string, setup bool, scale float64, jsonOut, chaosProfi
 	}
 	s.ChaosProfile = chaosProfile
 	s.ChaosSeed = chaosSeed
+	s.Parallel = parallel
+	s.BatchFaults = batch
 	if chaosProfile != "" {
 		fmt.Printf("chaos profile %s (seed %d) active for every run\n\n", chaosProfile, chaosSeed)
 	}

@@ -25,6 +25,7 @@ import (
 	"hetmp/internal/experiments"
 	"hetmp/internal/interconnect"
 	"hetmp/internal/kernels"
+	"hetmp/internal/profiling"
 	"hetmp/internal/rpc"
 	"hetmp/internal/telemetry"
 )
@@ -40,6 +41,10 @@ func main() {
 
 		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON file of the run (load in chrome://tracing or Perfetto)")
 		metricsOut = flag.String("metrics", "", "write a Prometheus text-format metrics dump of the run")
+
+		batch      = flag.Bool("batch-faults", false, "enable the DSM's batched-fault protocol")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile (post-GC, at exit) to this file")
 
 		chaosProfile = flag.String("chaos-profile", "", "inject a named degradation profile: "+strings.Join(chaos.Profiles(), " | ")+" (enables HetProbe re-decision)")
 		chaosSeed    = flag.Int64("chaos-seed", 1, "seed for the chaos schedule; same seed = same degradation, bit for bit")
@@ -64,11 +69,16 @@ func main() {
 	if *traceOut != "" || *metricsOut != "" {
 		tel = telemetry.New(telemetry.Options{})
 	}
-	var err error
-	if *rpcAddrs != "" {
-		err = runRPC(*rpcAddrs, *task, *n, *arg, *probe, *callTimeout, *retries, *redial, tel)
-	} else {
-		err = run(*bench, *config, *protocol, *scale, *quick, *chaosProfile, *chaosSeed, tel)
+	stop, err := profiling.Start(*cpuProfile, *memProfile)
+	if err == nil {
+		if *rpcAddrs != "" {
+			err = runRPC(*rpcAddrs, *task, *n, *arg, *probe, *callTimeout, *retries, *redial, tel)
+		} else {
+			err = run(*bench, *config, *protocol, *scale, *quick, *chaosProfile, *chaosSeed, *batch, tel)
+		}
+		if perr := stop(); err == nil {
+			err = perr
+		}
 	}
 	if err == nil {
 		err = writeTelemetry(tel, *traceOut, *metricsOut)
@@ -162,7 +172,7 @@ func printWorkerStats(stats []rpc.WorkerStats) {
 	}
 }
 
-func run(bench, config, protocol string, scale float64, quick bool, chaosProfile string, chaosSeed int64, tel *telemetry.Telemetry) error {
+func run(bench, config, protocol string, scale float64, quick bool, chaosProfile string, chaosSeed int64, batch bool, tel *telemetry.Telemetry) error {
 	s := experiments.Default()
 	if quick {
 		s = experiments.Quick()
@@ -173,6 +183,7 @@ func run(bench, config, protocol string, scale float64, quick bool, chaosProfile
 	s.Telemetry = tel
 	s.ChaosProfile = chaosProfile
 	s.ChaosSeed = chaosSeed
+	s.BatchFaults = batch
 	proto := interconnect.RDMA56()
 	if protocol == "tcpip" {
 		proto = interconnect.TCPIP()

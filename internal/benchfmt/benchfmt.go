@@ -1,0 +1,44 @@
+// Package benchfmt defines the benchmark baseline file format shared
+// by cmd/benchjson (writer) and cmd/benchguard (reader): ns/op plus
+// the custom per-figure metrics for every benchmark of the root
+// package's bench_test.go.
+package benchfmt
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// File is one benchmark snapshot (the committed BENCH_hetmp.json or a
+// freshly measured candidate).
+type File struct {
+	// Suite labels the scale the numbers were taken at ("quick",
+	// "full") — informational only.
+	Suite string `json:"suite,omitempty"`
+	// Benchmarks maps benchmark name (without the "Benchmark" prefix
+	// and -P suffix) to its numbers.
+	Benchmarks map[string]Bench `json:"benchmarks"`
+}
+
+// Bench is one benchmark's numbers.
+type Bench struct {
+	// NsPerOp is wall-clock ns/op (min across -count repetitions).
+	// Machine-dependent: guards compare it only on like hardware.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds the custom b.ReportMetric values — virtual-time
+	// quantities that are deterministic across machines.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Load reads a baseline file.
+func Load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}

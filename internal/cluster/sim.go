@@ -175,6 +175,10 @@ type simEnv struct {
 	node int
 	proc *simtime.Proc
 	ctr  perf.Counters
+
+	// pageScratch is the reusable page-index buffer accessAt hands to
+	// dsm.AccessPages, so gather loops allocate nothing per call.
+	pageScratch []int64
 }
 
 var _ Env = (*simEnv)(nil)
@@ -282,6 +286,37 @@ func (e *simEnv) accessAt(r *Region, offsets []int64, width int, write bool) {
 	}
 	dreg := r.sim.dreg
 	llc := e.c.llcs[e.node]
+	perPage := !dreg.BatchEnabled()
+
+	if !perPage {
+		// Batched protocol: collect the page-index sequence (same
+		// consecutive dedup and end-page straddle coverage as the
+		// per-page loop) and run the whole DSM protocol in one
+		// AccessPages call so contiguous faulting runs coalesce.
+		// This hoists the protocol ahead of the (time-free) cache
+		// pass, which can shift how concurrent procs interleave in
+		// the shared LLC — acceptable here because BatchFaults
+		// already opts into a coarser timing model; the default
+		// path below preserves the original interleave exactly.
+		pages := e.pageScratch[:0]
+		lastPage := int64(-1)
+		for _, off := range offsets {
+			page := off / dsm.PageSize
+			if page != lastPage {
+				pages = append(pages, page)
+				lastPage = page
+			}
+			if endPage := (off + int64(width) - 1) / dsm.PageSize; endPage != page {
+				pages = append(pages, endPage)
+				lastPage = endPage
+			}
+		}
+		e.pageScratch = pages
+		res := dreg.AccessPages(e.proc, e.node, pages, write)
+		e.ctr.RemoteFaults += res.Faults
+		e.ctr.FaultStall += res.Stall
+	}
+
 	lastPage := int64(-1)
 	lastLine := int64(-1)
 	prevOff := int64(-1 << 40)
@@ -294,20 +329,22 @@ func (e *simEnv) accessAt(r *Region, offsets []int64, width int, write bool) {
 			farGathers++
 		}
 		prevOff = off
-		page := off / dsm.PageSize
-		if page != lastPage {
-			res := dreg.AccessPage(e.proc, e.node, page, write)
-			e.ctr.RemoteFaults += res.Faults
-			e.ctr.FaultStall += res.Stall
-			lastPage = page
-		}
-		// Cover the end page if the element straddles one.
-		endPage := (off + int64(width) - 1) / dsm.PageSize
-		if endPage != page {
-			res := dreg.AccessPage(e.proc, e.node, endPage, write)
-			e.ctr.RemoteFaults += res.Faults
-			e.ctr.FaultStall += res.Stall
-			lastPage = endPage
+		if perPage {
+			page := off / dsm.PageSize
+			if page != lastPage {
+				res := dreg.AccessPage(e.proc, e.node, page, write)
+				e.ctr.RemoteFaults += res.Faults
+				e.ctr.FaultStall += res.Stall
+				lastPage = page
+			}
+			// Cover the end page if the element straddles one.
+			endPage := (off + int64(width) - 1) / dsm.PageSize
+			if endPage != page {
+				res := dreg.AccessPage(e.proc, e.node, endPage, write)
+				e.ctr.RemoteFaults += res.Faults
+				e.ctr.FaultStall += res.Stall
+				lastPage = endPage
+			}
 		}
 		line := (dreg.BaseAddr() + off) >> 6
 		if line != lastLine {

@@ -279,8 +279,16 @@ func (rt *Runtime) Run(app func(*App)) error {
 	return rt.cl.Run(func(env cluster.Env) {
 		a := &App{rt: rt, env: env}
 		defer func() {
-			for _, t := range rt.teams {
-				t.shutdown(env)
+			// Tear teams down in sorted key order: shutdown consumes
+			// virtual time, so map-order iteration would make the
+			// run's makespan depend on Go's map seed.
+			keys := make([]string, 0, len(rt.teams))
+			for key := range rt.teams {
+				keys = append(keys, key)
+			}
+			sort.Strings(keys)
+			for _, key := range keys {
+				rt.teams[key].shutdown(env)
 			}
 		}()
 		app(a)

@@ -129,13 +129,18 @@ func newTeam(rt *Runtime, master cluster.Env, nodes []int) *team {
 // workerLoop is the body of every team thread: rendezvous, execute the
 // dispatched region, rendezvous again.
 func (t *team) workerLoop(e cluster.Env, w workerID) {
+	// One scratch per worker thread, reset per region: regions are the
+	// innermost hot loop, and nothing retains the pointer past the end
+	// barrier (measurements and reduction partials are copied out).
+	var scratch workerState
 	for {
 		t.start.wait(e, nil)
 		desc := t.desc
 		if desc.stop {
 			return
 		}
-		ws := &workerState{}
+		scratch = workerState{}
+		ws := &scratch
 		if desc.reduce != nil {
 			ws.acc = desc.reduce.init()
 		}

@@ -207,6 +207,10 @@ func (s *Space) Alloc(name string, size int64, home int) (*Region, error) {
 // Name returns the region's debug name.
 func (r *Region) Name() string { return r.name }
 
+// BatchEnabled reports whether the space's protocol coalesces
+// contiguous faulting runs (Spec.BatchFaults).
+func (r *Region) BatchEnabled() bool { return r.space.proto.BatchFaults }
+
 // Size returns the requested size in bytes.
 func (r *Region) Size() int64 { return r.size }
 
@@ -241,11 +245,112 @@ func (r *Region) Access(p *simtime.Proc, node int, offset, length int64, write b
 	}
 	first := offset / PageSize
 	last := (offset + length - 1) / PageSize
-	var res AccessResult
-	for pg := first; pg <= last; pg++ {
-		res = res.add(r.accessPage(p, node, pg, write))
+	return r.accessRange(p, node, first, last, write)
+}
+
+// accessRange run-length-scans pages [first, last]: contiguous
+// already-satisfied pages are skipped in one pass with no protocol
+// call and no time advance (the dominant case for settled regions),
+// and faulting pages either fault one at a time (the paper's per-page
+// protocol, bit-identical to the original loop) or — when the spec's
+// BatchFaults knob is on — coalesce contiguous runs in identical
+// coherence state into one batched transaction.
+//
+// Page states are re-read after every protocol transaction: a fault
+// advances virtual time and may yield to procs that change later
+// pages. Skipping satisfied pages never yields, so the states read
+// during a skip run cannot go stale.
+func (r *Region) accessRange(p *simtime.Proc, node int, first, last int64, write bool) AccessResult {
+	bit := uint16(1) << node
+	batch := r.space.proto.BatchFaults
+	var faults int64
+	var stall time.Duration
+	for pg := first; pg <= last; {
+		st := r.pages[pg]
+		if st.writer == int8(node) || (!write && st.copyset&bit != 0) {
+			pg++
+			continue
+		}
+		if !batch {
+			res := r.accessPage(p, node, pg, write)
+			faults += res.Faults
+			stall += res.Stall
+			pg++
+			continue
+		}
+		run := pg + 1
+		for run <= last && r.pages[run] == st {
+			run++
+		}
+		res := r.accessRun(p, node, pg, run-pg, write)
+		faults += res.Faults
+		stall += res.Stall
+		pg = run
 	}
-	return res
+	return AccessResult{Faults: faults, Stall: stall}
+}
+
+// AccessPages performs a sequence of single-page accesses given by page
+// indices — the entry point for strided and gather loops. Consecutive
+// duplicate indices are coalesced (they hit the same page). Satisfied
+// pages are skipped with no protocol call; with BatchFaults enabled,
+// consecutively increasing faulting indices in identical coherence
+// state coalesce into one batched transaction, exactly as Access does
+// for contiguous byte ranges.
+func (r *Region) AccessPages(p *simtime.Proc, node int, pages []int64, write bool) AccessResult {
+	bit := uint16(1) << node
+	batch := r.space.proto.BatchFaults
+	n := int64(len(r.pages))
+	var faults int64
+	var stall time.Duration
+	prev := int64(-1)
+	for i := 0; i < len(pages); {
+		pg := pages[i]
+		if pg < 0 || pg >= n {
+			panic(fmt.Sprintf("dsm: page %d out of range of region %q", pg, r.name))
+		}
+		if pg == prev {
+			i++
+			continue
+		}
+		st := r.pages[pg]
+		if st.writer == int8(node) || (!write && st.copyset&bit != 0) {
+			prev = pg
+			i++
+			continue
+		}
+		if !batch {
+			res := r.accessPage(p, node, pg, write)
+			faults += res.Faults
+			stall += res.Stall
+			prev = pg
+			i++
+			continue
+		}
+		// Extend the batch over consecutively increasing indices whose
+		// pages share st's coherence state (duplicates of the last page
+		// in the run are absorbed).
+		j := i + 1
+		next := pg + 1
+		for j < len(pages) {
+			q := pages[j]
+			if q == next-1 {
+				j++
+				continue
+			}
+			if q != next || q >= n || r.pages[q] != st {
+				break
+			}
+			next++
+			j++
+		}
+		res := r.accessRun(p, node, pg, next-pg, write)
+		faults += res.Faults
+		stall += res.Stall
+		prev = next - 1
+		i = j
+	}
+	return AccessResult{Faults: faults, Stall: stall}
 }
 
 // AccessPage performs a single-page access identified by page index.
@@ -366,12 +471,112 @@ func (r *Region) accessPage(p *simtime.Proc, node int, pg int64, write bool) Acc
 	return AccessResult{Faults: 1, Stall: stall}
 }
 
+// accessRun services k contiguous pages starting at pg that all fault
+// in the identical coherence state st — one batched protocol
+// transaction modelling Popcorn-style request batching: the requester
+// pays one inline software path, the owner's worker pool services one
+// (k-page) request, and the wire is occupied for the full k-page
+// payload, so bytes moved are conserved while per-page software and
+// per-message control overheads are paid once per run. Page-state
+// transitions, fault counts, invalidation counts and bytes are
+// identical to k per-page faults; only the timing differs. Reached
+// only with Spec.BatchFaults enabled.
+func (r *Region) accessRun(p *simtime.Proc, node int, pg, k int64, write bool) AccessResult {
+	s := r.space
+	st := r.pages[pg] // representative state, identical across the run
+	bit := uint16(1) << node
+	owner := r.sourceNode(&st)
+	start := p.Now()
+
+	// Chaos is drawn once per transaction: a batched request is one
+	// message exchange, so it sees one outage/loss opportunity.
+	proto := s.proto
+	if ch := s.chaos; ch != nil {
+		if resume, retransmit, down := ch.OutageAt(p.Now()); down {
+			p.AdvanceTo(resume)
+			p.Advance(retransmit)
+		}
+		if penalty, lost := ch.FaultLoss(); lost {
+			p.Advance(penalty)
+		}
+		proto = proto.EffectiveAt(p.Now())
+	}
+
+	needsData := st.copyset&bit == 0
+	if needsData {
+		cost := proto.PageFault(s.nodes[node], s.nodes[owner], int(k)*PageSize, s.rng)
+		p.Advance(cost.Inline)
+		s.handlers[owner].Use(p, proto.EffectiveOwnerService(cost.Owner))
+		s.wire.Use(p, cost.Wire)
+		s.stats[node].BytesIn += k * PageSize
+	}
+
+	if write {
+		// One invalidation message per remote holder covers the whole
+		// run; each invalidates k copies.
+		for other := range s.nodes {
+			if other == node {
+				continue
+			}
+			otherBit := uint16(1) << other
+			if st.copyset&otherBit == 0 && st.writer != int8(other) {
+				continue
+			}
+			if needsData && other == owner {
+				s.noteInvalidations(other, k)
+				continue
+			}
+			inv := proto.ControlMessage(s.nodes[node], s.nodes[other])
+			p.Advance(inv.Inline)
+			s.handlers[other].Use(p, proto.EffectiveOwnerService(inv.Owner))
+			s.noteInvalidations(other, k)
+		}
+		for i := pg; i < pg+k; i++ {
+			r.pages[i] = pageState{writer: int8(node), copyset: bit}
+		}
+		s.stats[node].WriteFaults += k
+	} else {
+		newSet := st.copyset | bit
+		if st.writer != noWriter {
+			newSet |= uint16(1) << st.writer
+		}
+		for i := pg; i < pg+k; i++ {
+			r.pages[i] = pageState{writer: noWriter, copyset: newSet}
+		}
+		s.stats[node].ReadFaults += k
+	}
+
+	stall := p.Now() - start
+	s.stats[node].Stall += stall
+	if h := s.tel; h != nil {
+		if write {
+			h.writeFaults[node].Add(k)
+		} else {
+			h.readFaults[node].Add(k)
+		}
+		if needsData {
+			h.bytesIn[node].Add(k * PageSize)
+		}
+		h.stall[node].Observe(stall)
+	}
+	return AccessResult{Faults: k, Stall: stall}
+}
+
 // noteInvalidation bumps both the NodeStats counter and its telemetry
 // mirror for one invalidated copy at node.
 func (s *Space) noteInvalidation(node int) {
 	s.stats[node].Invalidations++
 	if h := s.tel; h != nil {
 		h.invalidations[node].Inc()
+	}
+}
+
+// noteInvalidations records k copies invalidated at node by one batched
+// write transaction.
+func (s *Space) noteInvalidations(node int, k int64) {
+	s.stats[node].Invalidations += k
+	if h := s.tel; h != nil {
+		h.invalidations[node].Add(k)
 	}
 }
 

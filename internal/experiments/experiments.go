@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"hetmp/internal/chaos"
@@ -63,10 +65,109 @@ type Suite struct {
 	// ChaosSeed seeds the profile's jittered schedule and loss draws;
 	// the same seed reproduces the same chaos bit-for-bit.
 	ChaosSeed int64
+	// BatchFaults enables the DSM's batched-fault protocol
+	// (interconnect.Spec.BatchFaults) in every run and in threshold
+	// calibration, so decisions are made against the same substrate
+	// they execute on.
+	BatchFaults bool
+	// Parallel bounds how many experiment runs execute concurrently
+	// (0 or 1 = sequential). Every run owns its own engine, cluster and
+	// kernel, and the virtual-time results are deterministic, so
+	// parallel suites produce byte-identical reports — only wall-clock
+	// changes. A non-nil Telemetry forces sequential execution: the
+	// trace and metric sinks are shared across runs.
+	Parallel int
 
-	thresholds map[string]time.Duration
-	csrCache   map[string]map[int]float64
-	decCache   map[string]map[string]core.Decision
+	// cache singleflights the lazily derived products (thresholds, CSR
+	// weights, HetProbe decisions) so concurrent runs needing the same
+	// key wait for one computation instead of duplicating it.
+	cache flightMap
+}
+
+// flight is one in-progress or completed cache computation.
+type flight struct {
+	done chan struct{}
+	v    any
+	err  error
+}
+
+// flightMap is a minimal singleflight-with-memory: the first caller of
+// a key computes, everyone else waits and shares the result forever
+// (experiment caches are immutable once derived).
+type flightMap struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+func (f *flightMap) do(key string, fn func() (any, error)) (any, error) {
+	f.mu.Lock()
+	if f.m == nil {
+		f.m = make(map[string]*flight)
+	}
+	if fl, ok := f.m[key]; ok {
+		f.mu.Unlock()
+		<-fl.done
+		return fl.v, fl.err
+	}
+	fl := &flight{done: make(chan struct{})}
+	f.m[key] = fl
+	f.mu.Unlock()
+	fl.v, fl.err = fn()
+	close(fl.done)
+	return fl.v, fl.err
+}
+
+// workers returns the concurrency for a fan-out over n items.
+func (s *Suite) workers(n int) int {
+	w := s.Parallel
+	if w <= 0 {
+		w = 1
+	}
+	if s.Telemetry != nil {
+		w = 1
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// forEach runs fn(i) for every i in [0, n), fanned out across the
+// suite's worker budget. fn writes its result into the caller's slice
+// at index i, so output ordering is deterministic regardless of
+// completion order; on failure the lowest-index error is returned.
+func (s *Suite) forEach(n int, fn func(i int) error) error {
+	if w := s.workers(n); w > 1 {
+		errs := make([]error, n)
+		var next int64
+		var wg sync.WaitGroup
+		for g := 0; g < w; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(atomic.AddInt64(&next, 1)) - 1
+					if i >= n {
+						return
+					}
+					errs[i] = fn(i)
+				}
+			}()
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		if err := fn(i); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Default returns the full-size suite (the paper's platform).
@@ -116,31 +217,30 @@ func (s *Suite) platform(which string) machine.Platform {
 // cross-node profitability threshold for a protocol, derived with the
 // Section 3.2 microbenchmark exactly as the paper prescribes.
 func (s *Suite) Threshold(proto interconnect.Spec) (time.Duration, error) {
-	if s.thresholds == nil {
-		s.thresholds = make(map[string]time.Duration)
-	}
-	if th, ok := s.thresholds[proto.Name]; ok {
-		return th, nil
-	}
-	proto = proto.Scaled(s.TimeScale)
-	intensities := []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384, 65536}
-	points, err := core.Calibrate(func() (cluster.Cluster, error) {
-		return cluster.NewSim(cluster.SimConfig{
-			Platform: s.platform("both"),
-			Protocol: proto,
-			Seed:     s.Seed,
-		})
-	}, intensities, 8)
+	v, err := s.cache.do("threshold/"+proto.Name, func() (any, error) {
+		proto.BatchFaults = s.BatchFaults
+		proto = proto.Scaled(s.TimeScale)
+		intensities := []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384, 65536}
+		points, err := core.Calibrate(func() (cluster.Cluster, error) {
+			return cluster.NewSim(cluster.SimConfig{
+				Platform: s.platform("both"),
+				Protocol: proto,
+				Seed:     s.Seed,
+			})
+		}, intensities, 8)
+		if err != nil {
+			return nil, err
+		}
+		// Break-even at 25%% of plateau throughput: the remote node's
+		// many cores still contribute more than their interference costs
+		// at a quarter efficiency (the paper's 100 µs RDMA threshold sits
+		// at the same knee of its Figure 4b curve).
+		return core.DeriveThreshold(points, 0.25), nil
+	})
 	if err != nil {
 		return 0, err
 	}
-	// Break-even at 25%% of plateau throughput: the remote node's
-	// many cores still contribute more than their interference costs
-	// at a quarter efficiency (the paper's 100 µs RDMA threshold sits
-	// at the same knee of its Figure 4b curve).
-	th := core.DeriveThreshold(points, 0.25)
-	s.thresholds[proto.Name] = th
-	return th, nil
+	return v.(time.Duration), nil
 }
 
 // Result is one benchmark execution under one configuration.
@@ -167,6 +267,7 @@ var dynChunks = map[string]int{
 // total execution time (serial + parallel phases, like Table 3 and
 // Figure 6).
 func (s *Suite) Run(bench, config string, proto interconnect.Spec) (Result, error) {
+	proto.BatchFaults = s.BatchFaults
 	th, err := s.Threshold(proto)
 	if err != nil {
 		return Result{}, err
@@ -250,19 +351,17 @@ func (s *Suite) Run(bench, config string, proto interconnect.Spec) (Result, erro
 // its per-region decisions (used for Ideal CSR weights, Figure 7 fault
 // periods and Figure 8 counter data).
 func (s *Suite) hetProbeDecisions(bench string, proto interconnect.Spec) (map[string]core.Decision, error) {
-	if s.decCache == nil {
-		s.decCache = make(map[string]map[string]core.Decision)
-	}
-	key := bench + "/" + proto.Name
-	if d, ok := s.decCache[key]; ok {
-		return d, nil
-	}
-	res, err := s.Run(bench, CfgHetProbe, proto)
+	v, err := s.cache.do("decisions/"+bench+"/"+proto.Name, func() (any, error) {
+		res, err := s.Run(bench, CfgHetProbe, proto)
+		if err != nil {
+			return nil, err
+		}
+		return res.Decisions, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	s.decCache[key] = res.Decisions
-	return res.Decisions, nil
+	return v.(map[string]core.Decision), nil
 }
 
 // mainDecision picks the benchmark's dominant region decision — the
@@ -289,24 +388,22 @@ func mainDecision(decs map[string]core.Decision) (string, core.Decision, bool) {
 // csrFor returns the HetProbe-measured CSR weights for a benchmark
 // (Table 2's procedure).
 func (s *Suite) csrFor(bench string, proto interconnect.Spec) (map[int]float64, error) {
-	if s.csrCache == nil {
-		s.csrCache = make(map[string]map[int]float64)
-	}
-	key := bench + "/" + proto.Name
-	if csr, ok := s.csrCache[key]; ok {
+	v, err := s.cache.do("csr/"+bench+"/"+proto.Name, func() (any, error) {
+		decs, err := s.hetProbeDecisions(bench, proto)
+		if err != nil {
+			return nil, err
+		}
+		_, d, ok := mainDecision(decs)
+		csr := map[int]float64{}
+		if ok {
+			csr = core.CSRFromDecision(d)
+		}
 		return csr, nil
-	}
-	decs, err := s.hetProbeDecisions(bench, proto)
+	})
 	if err != nil {
 		return nil, err
 	}
-	_, d, ok := mainDecision(decs)
-	csr := map[int]float64{}
-	if ok {
-		csr = core.CSRFromDecision(d)
-	}
-	s.csrCache[key] = csr
-	return csr, nil
+	return v.(map[int]float64), nil
 }
 
 // geomean returns the geometric mean of positive values.

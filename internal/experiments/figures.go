@@ -25,25 +25,31 @@ type Fig1Row struct {
 // ThunderX, streamcluster on the Xeon, and lavaMD when using both.
 func (s *Suite) Figure1() ([]Fig1Row, error) {
 	proto := interconnect.RDMA56()
-	rows := make([]Fig1Row, 0, 3)
-	for _, bench := range []string{"BT-C", "streamcluster", "lavaMD"} {
-		var row Fig1Row
-		row.Benchmark = bench
-		for _, cfg := range []string{CfgXeon, CfgThunderX, CfgHetProbe} {
-			res, err := s.Run(bench, cfg, proto)
-			if err != nil {
-				return nil, err
-			}
-			switch cfg {
-			case CfgXeon:
-				row.Xeon = res.Time
-			case CfgThunderX:
-				row.ThunderX = res.Time
-			case CfgHetProbe:
-				row.HetMP = res.Time
-			}
+	benches := []string{"BT-C", "streamcluster", "lavaMD"}
+	cfgs := []string{CfgXeon, CfgThunderX, CfgHetProbe}
+	// Every (bench, config) run is independent: fan out across the
+	// suite's workers, collect into an indexed slice for deterministic
+	// assembly.
+	times := make([]time.Duration, len(benches)*len(cfgs))
+	err := s.forEach(len(times), func(i int) error {
+		res, err := s.Run(benches[i/len(cfgs)], cfgs[i%len(cfgs)], proto)
+		if err != nil {
+			return err
 		}
-		rows = append(rows, row)
+		times[i] = res.Time
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig1Row, len(benches))
+	for b, bench := range benches {
+		rows[b] = Fig1Row{
+			Benchmark: bench,
+			Xeon:      times[b*len(cfgs)],
+			ThunderX:  times[b*len(cfgs)+1],
+			HetMP:     times[b*len(cfgs)+2],
+		}
 	}
 	return rows, nil
 }
@@ -63,6 +69,7 @@ type Fig4Point struct {
 func (s *Suite) Figure4() ([]Fig4Point, error) {
 	intensities := []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536, 131072}
 	run := func(proto interconnect.Spec) ([]core.CalibrationPoint, error) {
+		proto.BatchFaults = s.BatchFaults
 		return core.Calibrate(func() (cluster.Cluster, error) {
 			return cluster.NewSim(cluster.SimConfig{
 				Platform: s.platform("both"),
@@ -71,17 +78,22 @@ func (s *Suite) Figure4() ([]Fig4Point, error) {
 			})
 		}, intensities, 8)
 	}
-	rdma, err := run(interconnect.RDMA56())
-	if err != nil {
-		return nil, err
-	}
-	tcp, err := run(interconnect.TCPIP())
+	protos := []interconnect.Spec{interconnect.RDMA56(), interconnect.TCPIP()}
+	curves := make([][]core.CalibrationPoint, len(protos))
+	err := s.forEach(len(protos), func(i int) error {
+		pts, err := run(protos[i])
+		if err != nil {
+			return err
+		}
+		curves[i] = pts
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
 	points := make([]Fig4Point, len(intensities))
 	for i := range intensities {
-		points[i] = Fig4Point{OpsPerByte: intensities[i], RDMA: rdma[i], TCPIP: tcp[i]}
+		points[i] = Fig4Point{OpsPerByte: intensities[i], RDMA: curves[0][i], TCPIP: curves[1][i]}
 	}
 	return points, nil
 }
@@ -100,19 +112,21 @@ type Table2Row struct {
 // 1:1, lavaMD 3.666:1).
 func (s *Suite) Table2() ([]Table2Row, error) {
 	proto := interconnect.RDMA56()
-	rows := make([]Table2Row, 0, 4)
-	for _, bench := range []string{"blackscholes", "EP-C", "kmeans", "lavaMD"} {
-		csr, err := s.csrFor(bench, proto)
+	benches := []string{"blackscholes", "EP-C", "kmeans", "lavaMD"}
+	rows := make([]Table2Row, len(benches))
+	err := s.forEach(len(benches), func(i int) error {
+		csr, err := s.csrFor(benches[i], proto)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ratio := 0.0
 		if csr[1] > 0 {
 			ratio = csr[0] / csr[1]
 		}
-		rows = append(rows, Table2Row{Benchmark: bench, CSR: ratio})
-	}
-	return rows, nil
+		rows[i] = Table2Row{Benchmark: benches[i], CSR: ratio}
+		return nil
+	})
+	return rows, err
 }
 
 // ---------------------------------------------------------------- Tbl 3
@@ -126,15 +140,16 @@ type Table3Row struct {
 
 // Table3 reproduces the baseline execution-time table.
 func (s *Suite) Table3() ([]Table3Row, error) {
-	rows := make([]Table3Row, 0, len(kernels.PaperOrder))
-	for _, bench := range kernels.PaperOrder {
-		res, err := s.Run(bench, CfgXeon, interconnect.RDMA56())
+	rows := make([]Table3Row, len(kernels.PaperOrder))
+	err := s.forEach(len(kernels.PaperOrder), func(i int) error {
+		res, err := s.Run(kernels.PaperOrder[i], CfgXeon, interconnect.RDMA56())
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, Table3Row{Benchmark: bench, Time: res.Time})
-	}
-	return rows, nil
+		rows[i] = Table3Row{Benchmark: kernels.PaperOrder[i], Time: res.Time}
+		return nil
+	})
+	return rows, err
 }
 
 // ---------------------------------------------------------------- Fig 6
@@ -164,18 +179,29 @@ func (s *Suite) Figure6() (Fig6, error) {
 	out := Fig6{Geomean: make(map[string]float64)}
 	ratios := make(map[string][]float64)
 	var oracleRatios []float64
-	for _, bench := range kernels.PaperOrder {
+	// The full benchmark × configuration grid fans out; derived
+	// speedups, bests and geomeans are assembled sequentially from the
+	// indexed times, so the result is identical to a sequential pass.
+	grid := make([]time.Duration, len(kernels.PaperOrder)*len(Configs))
+	err := s.forEach(len(grid), func(i int) error {
+		res, err := s.Run(kernels.PaperOrder[i/len(Configs)], Configs[i%len(Configs)], proto)
+		if err != nil {
+			return err
+		}
+		grid[i] = res.Time
+		return nil
+	})
+	if err != nil {
+		return Fig6{}, err
+	}
+	for b, bench := range kernels.PaperOrder {
 		row := Fig6Row{
 			Benchmark: bench,
 			Times:     make(map[string]time.Duration, len(Configs)),
 			Speedup:   make(map[string]float64, len(Configs)),
 		}
-		for _, cfg := range Configs {
-			res, err := s.Run(bench, cfg, proto)
-			if err != nil {
-				return Fig6{}, err
-			}
-			row.Times[cfg] = res.Time
+		for c, cfg := range Configs {
+			row.Times[cfg] = grid[b*len(Configs)+c]
 		}
 		base := row.Times[CfgXeon]
 		best, bestSp := CfgXeon, 1.0
@@ -217,22 +243,27 @@ func (s *Suite) Figure7() ([]Fig7Row, time.Duration, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	rows := make([]Fig7Row, 0, len(kernels.PaperOrder))
-	for _, bench := range kernels.PaperOrder {
+	rows := make([]Fig7Row, len(kernels.PaperOrder))
+	err = s.forEach(len(kernels.PaperOrder), func(i int) error {
+		bench := kernels.PaperOrder[i]
 		decs, err := s.hetProbeDecisions(bench, proto)
 		if err != nil {
-			return nil, 0, err
+			return err
 		}
 		region, d, ok := mainDecision(decs)
 		if !ok {
-			return nil, 0, fmt.Errorf("experiments: %s recorded no probe decision", bench)
+			return fmt.Errorf("experiments: %s recorded no probe decision", bench)
 		}
-		rows = append(rows, Fig7Row{
+		rows[i] = Fig7Row{
 			Benchmark:   bench,
 			Region:      region,
 			FaultPeriod: d.FaultPeriod,
 			CrossNode:   d.CrossNode,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
 	}
 	return rows, th, nil
 }
@@ -251,21 +282,32 @@ type Fig8Row struct {
 // kilo-instruction for the benchmarks HetProbe keeps on a single node.
 func (s *Suite) Figure8() ([]Fig8Row, float64, error) {
 	proto := interconnect.RDMA56()
-	var rows []Fig8Row
-	for _, bench := range kernels.PaperOrder {
+	candidates := make([]*Fig8Row, len(kernels.PaperOrder))
+	err := s.forEach(len(kernels.PaperOrder), func(i int) error {
+		bench := kernels.PaperOrder[i]
 		decs, err := s.hetProbeDecisions(bench, proto)
 		if err != nil {
-			return nil, 0, err
+			return err
 		}
 		_, d, ok := mainDecision(decs)
 		if !ok || d.CrossNode {
-			continue
+			return nil
 		}
 		name := "Xeon"
 		if d.Node == 1 {
 			name = "ThunderX"
 		}
-		rows = append(rows, Fig8Row{Benchmark: bench, MissesPerKinst: d.MissesPerKinst, Node: name})
+		candidates[i] = &Fig8Row{Benchmark: bench, MissesPerKinst: d.MissesPerKinst, Node: name}
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	var rows []Fig8Row
+	for _, r := range candidates {
+		if r != nil {
+			rows = append(rows, *r)
+		}
 	}
 	return rows, core.DefaultOptions().MissThreshold, nil
 }
@@ -291,29 +333,36 @@ func (s *Suite) Figure9() ([]Fig9Row, time.Duration, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	var rows []Fig9Row
-	for _, rounds := range []int{1, 2, 4, 8, 16, 32} {
+	allRounds := []int{1, 2, 4, 8, 16, 32}
+	rows := make([]Fig9Row, len(allRounds))
+	err = s.forEach(len(allRounds), func(i int) error {
+		rounds := allRounds[i]
 		homog, err := s.runBlackscholesRounds(rounds, "xeon", proto, th)
 		if err != nil {
-			return nil, 0, err
+			return err
 		}
 		het, err := s.runBlackscholesRounds(rounds, "both", proto, th)
 		if err != nil {
-			return nil, 0, err
+			return err
 		}
 		_, d, _ := mainDecision(het.Decisions)
-		rows = append(rows, Fig9Row{
+		rows[i] = Fig9Row{
 			Rounds:      rounds,
 			Homogeneous: homog.Time,
 			HetProbe:    het.Time,
 			FaultPeriod: d.FaultPeriod,
 			CrossNode:   d.CrossNode,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
 	}
 	return rows, th, nil
 }
 
 func (s *Suite) runBlackscholesRounds(rounds int, which string, proto interconnect.Spec, th time.Duration) (Result, error) {
+	proto.BatchFaults = s.BatchFaults
 	k := kernels.NewBlackscholesRounds(s.Scale, rounds)
 	cl, err := cluster.NewSim(cluster.SimConfig{
 		Platform:      s.platform(which),
@@ -389,15 +438,18 @@ type AblationRow struct {
 // globally).
 func (s *Suite) AblationHierarchy() ([]AblationRow, error) {
 	proto := interconnect.RDMA56()
+	proto.BatchFaults = s.BatchFaults
 	th, err := s.Threshold(proto)
 	if err != nil {
 		return nil, err
 	}
-	var rows []AblationRow
-	for _, flat := range []bool{false, true} {
+	variants := []bool{false, true}
+	rows := make([]AblationRow, len(variants))
+	err = s.forEach(len(variants), func(i int) error {
+		flat := variants[i]
 		k, err := kernels.New("kmeans", s.Scale)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cl, err := cluster.NewSim(cluster.SimConfig{
 			Platform:      s.platform("both"),
@@ -406,21 +458,22 @@ func (s *Suite) AblationHierarchy() ([]AblationRow, error) {
 			MigrationCost: time.Duration(200 * float64(time.Microsecond) * s.TimeScale),
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rt := core.New(cl, core.Options{FaultPeriodThreshold: th, FlatHierarchy: flat})
 		if err := rt.Run(func(a *core.App) {
 			k.Run(a, kernels.Fixed(core.DynamicSchedule(dynChunks["kmeans"])))
 		}); err != nil {
-			return nil, err
+			return err
 		}
 		name := "two-level hierarchy"
 		if flat {
 			name = "flat (ablation)"
 		}
-		rows = append(rows, AblationRow{Variant: name, Time: cl.Elapsed(), Faults: cl.DSMFaults()})
-	}
-	return rows, nil
+		rows[i] = AblationRow{Variant: name, Time: cl.Elapsed(), Faults: cl.DSMFaults()}
+		return nil
+	})
+	return rows, err
 }
 
 // AblationSettling quantifies deterministic probe distribution:
@@ -428,12 +481,15 @@ func (s *Suite) AblationHierarchy() ([]AblationRow, error) {
 // assignment.
 func (s *Suite) AblationSettling() ([]AblationRow, error) {
 	proto := interconnect.RDMA56()
+	proto.BatchFaults = s.BatchFaults
 	th, err := s.Threshold(proto)
 	if err != nil {
 		return nil, err
 	}
-	var rows []AblationRow
-	for _, random := range []bool{false, true} {
+	variants := []bool{false, true}
+	rows := make([]AblationRow, len(variants))
+	err = s.forEach(len(variants), func(i int) error {
+		random := variants[i]
 		k := kernels.NewBlackscholesRounds(s.Scale, 12)
 		cl, err := cluster.NewSim(cluster.SimConfig{
 			Platform:      s.platform("both"),
@@ -442,7 +498,7 @@ func (s *Suite) AblationSettling() ([]AblationRow, error) {
 			MigrationCost: time.Duration(200 * float64(time.Microsecond) * s.TimeScale),
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rt := core.New(cl, core.Options{
 			FaultPeriodThreshold: th,
@@ -452,15 +508,16 @@ func (s *Suite) AblationSettling() ([]AblationRow, error) {
 		if err := rt.Run(func(a *core.App) {
 			k.Run(a, kernels.Fixed(core.HetProbeSchedule()))
 		}); err != nil {
-			return nil, err
+			return err
 		}
 		name := "deterministic probe"
 		if random {
 			name = "rotated probe (ablation)"
 		}
-		rows = append(rows, AblationRow{Variant: name, Time: cl.Elapsed(), Faults: cl.DSMFaults()})
-	}
-	return rows, nil
+		rows[i] = AblationRow{Variant: name, Time: cl.Elapsed(), Faults: cl.DSMFaults()}
+		return nil
+	})
+	return rows, err
 }
 
 // FormatDuration renders virtual times the way the reports print them.

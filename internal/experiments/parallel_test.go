@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestParallelSuiteByteIdentical is the acceptance test for the
+// parallel harness: a suite fanned out across workers must render
+// byte-identical report text to a sequential suite. Every run owns its
+// own virtual-time engine, and the lazily derived caches (thresholds,
+// HetProbe decisions, CSR weights) are singleflighted, so concurrency
+// may only change wall-clock, never results. The selection covers the
+// independent-run fan-out (Figure 1), the calibration fan-out
+// (Figure 4), the nested singleflight chain (Table 2: CSR → decisions
+// → HetProbe run → threshold) and the ablation fan-out.
+func TestParallelSuiteByteIdentical(t *testing.T) {
+	render := func(parallel int) string {
+		s := Quick()
+		s.Parallel = parallel
+		rows1, err := s.Figure1()
+		if err != nil {
+			t.Fatal(err)
+		}
+		points, err := s.Figure4()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl2, err := s.Table2()
+		if err != nil {
+			t.Fatal(err)
+		}
+		abl, err := s.AblationSettling()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return RenderFigure1(rows1) + "\n" + RenderFigure4(points) + "\n" +
+			RenderTable2(tbl2) + "\n" + RenderAblation("settling", abl)
+	}
+	seq := render(1)
+	par := render(8)
+	if seq != par {
+		t.Errorf("parallel report differs from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
+	}
+}

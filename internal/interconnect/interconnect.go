@@ -49,6 +49,14 @@ type Spec struct {
 	// TCP/IP). Kept for reporting; experiments calibrate their own
 	// threshold with the Section 3.2 microbenchmark.
 	PaperFaultPeriodThreshold time.Duration
+	// BatchFaults enables Popcorn-style request batching in the DSM:
+	// contiguous faulting pages in identical coherence state are
+	// serviced as one transaction — one requester inline cost, one
+	// owner service, one control message per holder, with the wire
+	// occupied for the full multi-page payload so bytes moved are
+	// conserved. Off (the default) reproduces the paper's strictly
+	// per-page protocol.
+	BatchFaults bool
 
 	// Cached telemetry series handles, installed by WithTelemetry.
 	// Unexported so they ride along with value copies (Scaled and

@@ -69,7 +69,13 @@ func (c Counters) MissesPerKiloInstr() float64 {
 // of that node probe it with the line addresses of their declared
 // accesses. The engine serializes execution, so no locking is needed.
 type LLC struct {
-	sets      [][]int64 // per set, tags in LRU order (front = MRU)
+	// tags is one flat backing array of pow × ways entries — set i's
+	// tags live at [i*ways, i*ways+sizes[i]) in LRU order (front =
+	// MRU). Flat storage keeps the probe loop allocation-free and
+	// cache-friendly; the replacement behavior is identical to the
+	// earlier per-set slices.
+	tags      []int64
+	sizes     []int32 // valid entries per set
 	ways      int
 	lineShift uint
 	setMask   int64
@@ -90,9 +96,9 @@ func NewLLC(spec machine.CacheSpec) *LLC {
 	for pow < nsets {
 		pow *= 2
 	}
-	sets := make([][]int64, pow)
 	return &LLC{
-		sets:      sets,
+		tags:      make([]int64, pow*spec.Ways),
+		sizes:     make([]int32, pow),
 		ways:      spec.Ways,
 		lineShift: shift,
 		setMask:   int64(pow - 1),
@@ -109,7 +115,9 @@ func (c *LLC) Access(addr int64) bool {
 func (c *LLC) accessLine(tag int64) bool {
 	c.accesses++
 	idx := tag & c.setMask
-	set := c.sets[idx]
+	base := int(idx) * c.ways
+	n := int(c.sizes[idx])
+	set := c.tags[base : base+n]
 	for i, t := range set {
 		if t == tag {
 			// Hit: move to MRU position.
@@ -119,12 +127,12 @@ func (c *LLC) accessLine(tag int64) bool {
 		}
 	}
 	c.misses++
-	if len(set) < c.ways {
-		set = append(set, 0)
+	if n < c.ways {
+		c.sizes[idx] = int32(n + 1)
+		set = c.tags[base : base+n+1]
 	}
 	copy(set[1:], set)
 	set[0] = tag
-	c.sets[idx] = set
 	return true
 }
 

@@ -64,7 +64,7 @@ func TestLRUWithinSet(t *testing.T) {
 	// the least recently used (the 1st); re-touching the 1st misses,
 	// while 3rd/4th/5th still hit.
 	c := NewLLC(smallCache())
-	setStride := int64(len(c.sets)) * 64
+	setStride := int64(len(c.sizes)) * 64
 	addr := func(i int) int64 { return int64(i) * setStride } // all map to set 0
 	for i := 0; i < 4; i++ {
 		c.Access(addr(i))

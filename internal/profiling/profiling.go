@@ -1,0 +1,55 @@
+// Package profiling wires the standard pprof profiles into the CLIs
+// (hetbench, hetmprun), so hot-path work can be profiled with the
+// stock `go tool pprof` workflow without running under `go test`.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins profiling per the -cpuprofile / -memprofile flag values
+// (empty = disabled) and returns a stop function to defer in main.
+// The CPU profile records from Start to stop; the heap profile is
+// written at stop time after a forced GC, so it shows live memory at
+// the end of the run rather than transient garbage.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("start cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("cpu profile written to %s\n", cpuPath)
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("heap profile written to %s\n", memPath)
+		}
+		return nil
+	}, nil
+}

@@ -13,13 +13,28 @@
 // Because execution is serialized, proc bodies may freely access shared
 // Go data structures without locks, provided they do not touch them from
 // goroutines outside the engine.
+//
+// # Switch protocol
+//
+// Control moves between procs by direct handoff: the proc that parks
+// pops the next runnable proc off the heap and resumes it itself, so a
+// context switch costs a single channel send to a waiting receiver
+// (and zero channel operations when the parking proc pops itself right
+// back, as happens on Yield with no earlier runnable proc). There is no
+// central scheduler goroutine on the hot path; Run only dispatches the
+// first proc and then waits for the run to complete or deadlock. The
+// engine also caches the earliest runnable clock (nextClock), so the
+// yield check in Advance chains is two loads and a compare — the heap
+// is only touched when a switch actually happens.
 package simtime
 
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -32,6 +47,15 @@ const (
 	stateBlocked
 	stateDone
 )
+
+// noProcClock is the cached nextClock value when the runnable heap is
+// empty: no proc clock can reach it, so the yield check never fires.
+const noProcClock = time.Duration(math.MaxInt64)
+
+// resumePool recycles resume channels across proc lifetimes. A proc's
+// channel holds at most one in-flight token and is provably empty when
+// the proc finishes, so channels return to the pool clean.
+var resumePool = sync.Pool{New: func() any { return make(chan struct{}, 1) }}
 
 // Proc is a simulated thread of execution. All methods must be called
 // from within the proc's own body function while it is running.
@@ -64,7 +88,9 @@ func (p *Proc) Advance(d time.Duration) {
 	if d > 0 {
 		p.clock += d
 	}
-	p.maybeYield()
+	if p.eng.nextClock < p.clock {
+		p.yieldNow()
+	}
 }
 
 // AdvanceTo moves the proc's virtual clock to at least t.
@@ -72,26 +98,31 @@ func (p *Proc) AdvanceTo(t time.Duration) {
 	if t > p.clock {
 		p.clock = t
 	}
-	p.maybeYield()
+	if p.eng.nextClock < p.clock {
+		p.yieldNow()
+	}
 }
 
 // Yield gives other runnable procs with clocks at or before this proc's
 // clock a chance to run. It is rarely needed directly: Advance and the
 // synchronization objects yield on their own.
 func (p *Proc) Yield() {
-	p.eng.requeue(p)
-	p.park()
+	p.yieldNow()
 }
 
-// maybeYield hands control back to the engine only when some other
-// runnable proc has a strictly smaller clock. Keeping control on ties
-// avoids quadratic ping-ponging while preserving determinism.
+// maybeYield hands control to an earlier runnable proc, if any. Keeping
+// control on ties avoids quadratic ping-ponging while preserving
+// determinism.
 func (p *Proc) maybeYield() {
-	e := p.eng
-	if len(e.runnable) == 0 || e.runnable[0].clock >= p.clock {
-		return
+	if p.eng.nextClock < p.clock {
+		p.yieldNow()
 	}
-	e.requeue(p)
+}
+
+// yieldNow requeues p and parks. If p is still the earliest runnable
+// proc it keeps executing without touching its channel.
+func (p *Proc) yieldNow() {
+	p.eng.requeue(p)
 	p.park()
 }
 
@@ -101,10 +132,14 @@ func (p *Proc) block() {
 	p.park()
 }
 
-// park transfers control to the engine loop and waits to be resumed.
+// park cedes control: the next runnable proc is resumed by direct
+// handoff, then p waits for its own resume token. When p pops itself
+// (it is still the earliest runnable proc), park returns immediately
+// with no channel traffic.
 func (p *Proc) park() {
-	e := p.eng
-	e.yield <- p
+	if p.eng.handoff(p) {
+		return
+	}
 	<-p.resume
 }
 
@@ -122,22 +157,25 @@ func (p *Proc) unblock(at time.Duration) {
 
 // Engine owns the procs and drives them in deterministic order.
 type Engine struct {
-	procs    []*Proc
-	runnable procHeap
-	yield    chan *Proc
-	nextID   int
-	live     int // procs not yet done
-	rng      *rand.Rand
-	maxNow   time.Duration
-	running  bool
+	procs     []*Proc
+	runnable  procHeap
+	nextClock time.Duration // runnable[0].clock, or noProcClock when empty
+	done      chan struct{} // closed by the proc that ends the run
+	nextID    int
+	live      int // procs not yet done
+	rng       *rand.Rand
+	maxNow    time.Duration
+	running   bool
+	firstErr  error // first proc panic, in completion order
+	deadlock  error // non-nil when the run ended with live procs blocked
 }
 
 // NewEngine returns an engine whose jitter source is seeded with seed,
 // so runs are reproducible.
 func NewEngine(seed int64) *Engine {
 	return &Engine{
-		yield: make(chan *Proc),
-		rng:   rand.New(rand.NewSource(seed)),
+		nextClock: noProcClock,
+		rng:       rand.New(rand.NewSource(seed)),
 	}
 }
 
@@ -158,7 +196,7 @@ func (e *Engine) Go(name string, start time.Duration, fn func(*Proc)) *Proc {
 		id:     e.nextID,
 		name:   name,
 		clock:  start,
-		resume: make(chan struct{}),
+		resume: resumePool.Get().(chan struct{}),
 	}
 	e.nextID++
 	e.live++
@@ -177,16 +215,52 @@ func (e *Engine) Go(name string, start time.Duration, fn func(*Proc)) *Proc {
 	return p
 }
 
-// finish marks the proc done, wakes joiners and returns control to the
-// engine loop permanently.
+// finish marks the proc done, wakes joiners, records the first error in
+// completion order and hands control to the next runnable proc. The
+// proc's resume channel can never be signalled again, so it returns to
+// the pool here.
 func (p *Proc) finish() {
+	e := p.eng
 	p.state = stateDone
-	p.eng.live--
+	e.live--
+	if p.err != nil && e.firstErr == nil {
+		e.firstErr = p.err
+	}
 	for _, w := range p.waiters {
 		w.unblock(p.clock)
 	}
 	p.waiters = nil
-	p.eng.yield <- p
+	resumePool.Put(p.resume)
+	p.resume = nil
+	e.handoff(p) // never a self-pop: p is done and not in the heap
+}
+
+// handoff moves control from p (which is parking or finishing) to the
+// next runnable proc. It returns true when that proc is p itself, in
+// which case p simply keeps executing. When nothing is runnable the run
+// is over — complete if no procs remain live, deadlocked otherwise —
+// and the waiting Run call is released.
+func (e *Engine) handoff(p *Proc) bool {
+	if p.clock > e.maxNow {
+		e.maxNow = p.clock
+	}
+	if len(e.runnable) == 0 {
+		if e.live > 0 {
+			e.deadlock = fmt.Errorf("%w\n%s", ErrDeadlock, e.dump())
+		}
+		close(e.done)
+		return false
+	}
+	q := e.pop()
+	q.state = stateRunning
+	if q == p {
+		return true
+	}
+	if q.clock > e.maxNow {
+		e.maxNow = q.clock
+	}
+	q.resume <- struct{}{}
+	return false
 }
 
 // Join blocks the calling proc until target finishes, then advances the
@@ -214,29 +288,28 @@ func (e *Engine) Run() error {
 	e.running = true
 	defer func() { e.running = false }()
 
-	var firstErr error
-	for e.live > 0 {
-		if len(e.runnable) == 0 {
-			return fmt.Errorf("%w\n%s", ErrDeadlock, e.dump())
-		}
-		p := e.pop()
-		p.state = stateRunning
-		if p.clock > e.maxNow {
-			e.maxNow = p.clock
-		}
-		p.resume <- struct{}{}
-		q := <-e.yield // q is the proc that yielded (== p unless p finished after waking others)
-		if q.clock > e.maxNow {
-			e.maxNow = q.clock
-		}
-		if q.state == stateDone && q.err != nil && firstErr == nil {
-			firstErr = q.err
-		}
+	if e.live == 0 {
+		return nil
 	}
-	if firstErr != nil {
-		return firstErr
+	if len(e.runnable) == 0 {
+		return fmt.Errorf("%w\n%s", ErrDeadlock, e.dump())
 	}
-	return nil
+	e.done = make(chan struct{})
+	e.firstErr = nil
+	e.deadlock = nil
+
+	q := e.pop()
+	q.state = stateRunning
+	if q.clock > e.maxNow {
+		e.maxNow = q.clock
+	}
+	q.resume <- struct{}{}
+	<-e.done
+
+	if e.deadlock != nil {
+		return e.deadlock
+	}
+	return e.firstErr
 }
 
 // dump renders the blocked-proc table for deadlock diagnostics.
@@ -263,6 +336,9 @@ func (e *Engine) requeue(p *Proc) {
 type procHeap []*Proc
 
 func (e *Engine) push(p *Proc) {
+	if p.clock < e.nextClock {
+		e.nextClock = p.clock
+	}
 	h := append(e.runnable, p)
 	i := len(h) - 1
 	for i > 0 {
@@ -281,6 +357,7 @@ func (e *Engine) pop() *Proc {
 	top := h[0]
 	last := len(h) - 1
 	h[0] = h[last]
+	h[last] = nil // release the reference for the GC
 	h = h[:last]
 	i := 0
 	for {
@@ -299,6 +376,11 @@ func (e *Engine) pop() *Proc {
 		i = smallest
 	}
 	e.runnable = h
+	if len(h) > 0 {
+		e.nextClock = h[0].clock
+	} else {
+		e.nextClock = noProcClock
+	}
 	return top
 }
 

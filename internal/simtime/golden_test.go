@@ -1,0 +1,208 @@
+package simtime
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+)
+
+// Golden-trace tests pin the engine's scheduling order bit-for-bit.
+// The traces below were captured from the original two-channel-hop
+// engine (Engine.Run popping and resuming every proc through the
+// central loop); any rewrite of the switch machinery must reproduce
+// them exactly — smallest-clock-first, spawn-order ties, identical
+// virtual timestamps at every observable step.
+//
+// Run with HETMP_GOLDEN_PRINT=1 to regenerate the constants.
+
+// traceRec is an append-only event log filled in by proc bodies, so it
+// observes scheduling order without any engine instrumentation.
+type traceRec struct {
+	events []string
+}
+
+func (t *traceRec) at(p *Proc, what string) {
+	t.events = append(t.events, fmt.Sprintf("%s:%s@%d", p.Name(), what, p.Now()))
+}
+
+func (t *traceRec) hash() uint64 {
+	h := fnv.New64a()
+	for _, ev := range t.events {
+		h.Write([]byte(ev))
+		h.Write([]byte{'\n'})
+	}
+	return h.Sum64()
+}
+
+// goldenSmall exercises every switch path once: pre-run spawns, ties
+// broken by spawn order, Advance/AdvanceTo, Yield, a barrier with a
+// winner, a gate, a FIFO resource, a mid-run spawn and a join.
+func goldenSmall() (*traceRec, time.Duration, error) {
+	tr := &traceRec{}
+	e := NewEngine(7)
+	bar := NewBarrier(3)
+	gate := NewGate()
+	res := NewResource("link")
+
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Go(fmt.Sprintf("w%d", i), 0, func(p *Proc) {
+			tr.at(p, "start")
+			p.Advance(time.Duration(10-i) * time.Microsecond)
+			tr.at(p, "adv")
+			res.Use(p, 5*time.Microsecond)
+			tr.at(p, "res")
+			if bar.Wait(p) {
+				tr.at(p, "bar-win")
+				child := p.eng.Go("child", p.Now(), func(c *Proc) {
+					tr.at(c, "child-start")
+					c.Advance(3 * time.Microsecond)
+					tr.at(c, "child-end")
+				})
+				p.Join(child)
+				tr.at(p, "joined")
+				gate.Open(p)
+			} else {
+				tr.at(p, "bar-lose")
+				gate.Wait(p)
+				tr.at(p, "gated")
+			}
+			p.Yield()
+			p.AdvanceTo(40 * time.Microsecond)
+			tr.at(p, "end")
+		})
+	}
+	err := e.Run()
+	return tr, e.MaxNow(), err
+}
+
+// goldenRandom drives nProcs through rounds of seeded pseudo-random
+// advances, resource uses, yields and barrier waits. The workload's
+// randomness comes from its own rng (not the engine's), so the trace
+// depends only on the engine's scheduling decisions.
+func goldenRandom(seed int64) (*traceRec, time.Duration) {
+	const nProcs, rounds = 6, 8
+	tr := &traceRec{}
+	e := NewEngine(seed)
+	bar := NewBarrier(nProcs)
+	resA := NewResource("a")
+	resB := NewResource("b")
+
+	for i := 0; i < nProcs; i++ {
+		i := i
+		rng := rand.New(rand.NewSource(seed*1000 + int64(i)))
+		e.Go(fmt.Sprintf("p%d", i), time.Duration(i)*time.Microsecond, func(p *Proc) {
+			for r := 0; r < rounds; r++ {
+				for k := 0; k < 3; k++ {
+					switch rng.Intn(4) {
+					case 0:
+						p.Advance(time.Duration(rng.Intn(2000)) * time.Nanosecond)
+					case 1:
+						resA.Use(p, time.Duration(rng.Intn(1500))*time.Nanosecond)
+					case 2:
+						resB.Use(p, time.Duration(100+rng.Intn(500))*time.Nanosecond)
+					case 3:
+						p.Yield()
+					}
+					tr.at(p, fmt.Sprintf("r%dk%d", r, k))
+				}
+				if bar.Wait(p) {
+					tr.at(p, fmt.Sprintf("r%dwin", r))
+				}
+			}
+			tr.at(p, "done")
+		})
+	}
+	if err := e.Run(); err != nil {
+		panic(err)
+	}
+	return tr, e.MaxNow()
+}
+
+// Captured from the pre-rewrite engine; see comment at top of file.
+var goldenSmallWant = struct {
+	hash   uint64
+	maxNow time.Duration
+	head   []string
+}{
+	hash:   0xad5a129b8ca04f3f,
+	maxNow: 40 * time.Microsecond,
+	head: []string{
+		"w0:start@0", "w1:start@0", "w2:start@0",
+		"w2:adv@8000", "w1:adv@9000", "w0:adv@10000",
+		"w2:res@13000", "w1:res@18000", "w0:res@23000",
+		"w0:bar-win@23000", "w1:bar-lose@23000", "w2:bar-lose@23000",
+		"child:child-start@23000", "child:child-end@26000",
+		"w0:joined@26000", "w1:gated@26000", "w2:gated@26000",
+		"w2:end@40000", "w0:end@40000", "w1:end@40000",
+	},
+}
+
+var goldenRandomWant = map[int64]struct {
+	hash   uint64
+	maxNow time.Duration
+}{
+	1: {hash: 0x8b8a80fefbf8c442, maxNow: 34403},
+	2: {hash: 0xb59a2ff6b8cb7de0, maxNow: 31955},
+	3: {hash: 0xf2761fb78aa3c23e, maxNow: 31318},
+}
+
+func TestGoldenTraceSmall(t *testing.T) {
+	tr, maxNow, err := goldenSmall()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if os.Getenv("HETMP_GOLDEN_PRINT") != "" {
+		fmt.Printf("small hash=%#x maxNow=%d\n", tr.hash(), maxNow)
+		for i, ev := range tr.events {
+			fmt.Printf("  head[%d] = %q\n", i, ev)
+		}
+	}
+	for i, want := range goldenSmallWant.head {
+		if i >= len(tr.events) {
+			t.Fatalf("trace truncated at %d events, want %d", len(tr.events), len(goldenSmallWant.head))
+		}
+		if tr.events[i] != want {
+			t.Errorf("event %d = %q, want %q", i, tr.events[i], want)
+		}
+	}
+	if got := tr.hash(); got != goldenSmallWant.hash {
+		t.Errorf("trace hash = %#x, want %#x", got, goldenSmallWant.hash)
+	}
+	if maxNow != goldenSmallWant.maxNow {
+		t.Errorf("MaxNow = %d, want %d", maxNow, goldenSmallWant.maxNow)
+	}
+}
+
+func TestGoldenTraceRandom(t *testing.T) {
+	for seed, want := range goldenRandomWant {
+		tr, maxNow := goldenRandom(seed)
+		if os.Getenv("HETMP_GOLDEN_PRINT") != "" {
+			fmt.Printf("seed %d: hash=%#x maxNow=%d (%d events)\n", seed, tr.hash(), maxNow, len(tr.events))
+			continue
+		}
+		if got := tr.hash(); got != want.hash {
+			t.Errorf("seed %d: trace hash = %#x, want %#x", seed, got, want.hash)
+		}
+		if maxNow != want.maxNow {
+			t.Errorf("seed %d: MaxNow = %d, want %d", seed, maxNow, want.maxNow)
+		}
+	}
+}
+
+// TestGoldenTraceStable runs the random workload twice in-process and
+// demands identical traces — catches nondeterminism that a fixed golden
+// might miss (e.g. map-order or host-scheduler leakage).
+func TestGoldenTraceStable(t *testing.T) {
+	for seed := int64(10); seed < 14; seed++ {
+		tr1, m1 := goldenRandom(seed)
+		tr2, m2 := goldenRandom(seed)
+		if tr1.hash() != tr2.hash() || m1 != m2 {
+			t.Fatalf("seed %d: nondeterministic trace (hash %#x vs %#x, maxNow %d vs %d)",
+				seed, tr1.hash(), tr2.hash(), m1, m2)
+		}
+	}
+}

@@ -39,7 +39,9 @@ func (b *Barrier) Wait(p *Proc) bool {
 	}
 	release := b.maxT
 	waiters := b.arrived
-	b.arrived = nil
+	// Keep the backing array for the next round: every waiter is
+	// unblocked below, before any of them can re-enter Wait and append.
+	b.arrived = b.arrived[:0]
 	b.maxT = 0
 	for _, w := range waiters {
 		w.unblock(release)
