@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 vet race check results chaos
+.PHONY: all tier1 vet race check results chaos lint
 
 all: check
 
@@ -13,6 +13,12 @@ tier1:
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific invariant checks (see DESIGN.md "Statically enforced
+# invariants"): wall-clock reads, map-order leaks, global randomness,
+# telemetry lookups in loops, blocking calls under mutexes.
+lint:
+	$(GO) run ./cmd/hetmplint ./...
 
 # Full race-detector sweep. The experiments package is slow under
 # -race (~4 min); use race-fast during development.
@@ -24,7 +30,7 @@ race:
 race-fast:
 	$(GO) test -race ./internal/rpc/... ./internal/core/... ./internal/cluster/... ./internal/apportion/...
 
-check: tier1 vet race
+check: tier1 vet lint race
 
 # Chaos soak: the degradation-injection acceptance tests (multi-seed
 # soak, seeded reproducibility, chaos-off zero-delta) under the race

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// runLint executes the linter via `go run .` against a fixture package
+// and returns its exit code and combined output. Using the real binary
+// (not run() in-process) pins the full path: flag parsing, go list
+// loading, type checking, suppression filtering, and the exit status CI
+// depends on.
+func runLint(t *testing.T, pattern string) (int, string) {
+	t.Helper()
+	cmd := exec.Command("go", "run", ".", pattern)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return 0, string(out)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("go run failed to execute: %v\n%s", err, out)
+	}
+	return ee.ExitCode(), string(out)
+}
+
+// TestBadFixtureFailsEveryAnalyzer pins that hetmplint exits non-zero
+// on a package violating all five invariants and that every analyzer
+// contributes at least one finding — so a future refactor cannot
+// silently turn the linter into a no-op.
+func TestBadFixtureFailsEveryAnalyzer(t *testing.T) {
+	code, out := runLint(t, "./testdata/src/core")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\noutput:\n%s", code, out)
+	}
+	for _, name := range []string{"wallclock", "maporder", "randsource", "telemetryhandle", "blockinglock"} {
+		if !strings.Contains(out, "["+name+"]") {
+			t.Errorf("no %s finding on the bad fixture\noutput:\n%s", name, out)
+		}
+	}
+}
+
+func TestCleanFixtureExitsZero(t *testing.T) {
+	code, out := runLint(t, "./testdata/src/clean")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\noutput:\n%s", code, out)
+	}
+}
+
+func TestListFlag(t *testing.T) {
+	cmd := exec.Command("go", "run", ".", "-list")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("hetmplint -list: %v\n%s", err, out)
+	}
+	for _, name := range []string{"wallclock", "maporder", "randsource", "telemetryhandle", "blockinglock"} {
+		if !strings.Contains(string(out), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out)
+		}
+	}
+}

@@ -1,0 +1,21 @@
+// Package clean must produce zero hetmplint findings; the regression
+// test pins the clean exit path alongside the bad one.
+package clean
+
+import (
+	"math/rand"
+	"sort"
+)
+
+func SortedSum(m map[string]int, rng *rand.Rand) int {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	total := 0
+	for _, k := range keys {
+		total += m[k] + rng.Intn(3)
+	}
+	return total
+}

@@ -1,0 +1,36 @@
+// Package core is the deliberately bad fixture behind hetmplint's
+// no-op regression test: it violates every analyzer in the suite (the
+// directory is named "core" so the wallclock virtual-time scoping
+// applies). If hetmplint ever stops reporting any of these, the test in
+// cmd/hetmplint fails rather than letting the linter silently rot.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"hetmp/internal/telemetry"
+)
+
+type noisy struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func violations(m map[string]int, reg *telemetry.Registry, n *noisy) time.Time {
+	for k, v := range m { // maporder: output write in map order
+		fmt.Println(k, v)
+	}
+	for range m {
+		reg.Counter("lookups").Inc() // telemetryhandle: lookup per iteration
+	}
+	_ = rand.Intn(6) // randsource: global generator
+
+	n.mu.Lock()
+	n.ch <- 1 // blockinglock: send under n.mu
+	n.mu.Unlock()
+
+	return time.Now() // wallclock: wall read in a "core" package
+}

@@ -1,0 +1,67 @@
+// Package analysis is a minimal, offline reimplementation of the
+// golang.org/x/tools/go/analysis API surface used by hetmplint.
+//
+// The build environment for this repo is hermetic (no module proxy), so
+// the real x/tools dependency cannot be fetched. This package keeps the
+// same shape — Analyzer, Pass, Diagnostic, a loader, and an
+// analysistest-style fixture harness — so that if x/tools ever becomes
+// available, migrating is an import-path change, not a rewrite. It is
+// built entirely on the standard library: go/parser for syntax, go/types
+// with the source importer for full type information.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one static check: a name, documentation, and a
+// Run function that inspects a single type-checked package and reports
+// diagnostics through the Pass.
+type Analyzer struct {
+	// Name identifies the check. It is the key used by
+	// `//hetmp:allow <name>` suppression comments and is printed in
+	// every diagnostic.
+	Name string
+
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+
+	// Run applies the check to one package.
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzer with everything it needs to inspect one
+// type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// report receives every diagnostic, before suppression filtering.
+	report func(Diagnostic)
+}
+
+// A Diagnostic is one finding at one source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string // analyzer name; filled in by the driver
+	Message  string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Category: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// Report reports a fully formed diagnostic.
+func (p *Pass) Report(d Diagnostic) {
+	if d.Category == "" {
+		d.Category = p.Analyzer.Name
+	}
+	p.report(d)
+}

@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression comments.
+//
+// A finding is suppressed by a line comment of the form
+//
+//	//hetmp:allow <check>[,<check>...] [-- reason]
+//
+// placed either on the same line as the flagged code (trailing comment,
+// covering that line only) or alone on the line immediately above it (a
+// standalone comment line, covering the next line). The keyword must be exactly
+// `hetmp:allow` (leading whitespace inside the comment is tolerated,
+// `//hetmp:allowX` or `//hetmp:allows` is not a suppression), and only
+// line comments count: a block comment /* hetmp:allow ... */ never
+// suppresses, so that a suppression cannot hide in the middle of a
+// commented-out region. The reason text after `--` is free-form but
+// strongly encouraged; reviewers treat a bare suppression as a smell.
+
+const allowKeyword = "hetmp:allow"
+
+// suppressionIndex maps filename -> line -> set of check names allowed
+// on that line.
+type suppressionIndex map[string]map[int]map[string]bool
+
+func buildSuppressionIndex(fset *token.FileSet, files []*ast.File) suppressionIndex {
+	idx := suppressionIndex{}
+	mark := func(filename string, line int, checks []string) {
+		byLine := idx[filename]
+		if byLine == nil {
+			byLine = map[int]map[string]bool{}
+			idx[filename] = byLine
+		}
+		set := byLine[line]
+		if set == nil {
+			set = map[string]bool{}
+			byLine[line] = set
+		}
+		for _, name := range checks {
+			set[name] = true
+		}
+	}
+	for _, f := range files {
+		codeLines := collectCodeLines(fset, f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, "//") {
+					continue // block comments never suppress
+				}
+				checks := parseAllowComment(c.Text)
+				if len(checks) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if codeLines[pos.Line] {
+					// Trailing comment: covers its own line only.
+					mark(pos.Filename, pos.Line, checks)
+				} else {
+					// Standalone comment line: covers the next line.
+					mark(pos.Filename, pos.Line+1, checks)
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// collectCodeLines returns the set of lines on which a code token
+// starts — used to distinguish trailing comments from standalone
+// comment lines.
+func collectCodeLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.File, *ast.CommentGroup, *ast.Comment:
+			return true
+		}
+		lines[fset.Position(n.Pos()).Line] = true
+		return true
+	})
+	return lines
+}
+
+// parseAllowComment extracts the check names from a single line-comment
+// text, or nil if the comment is not a well-formed suppression.
+func parseAllowComment(text string) []string {
+	body := strings.TrimSpace(strings.TrimPrefix(text, "//"))
+	if !strings.HasPrefix(body, allowKeyword) {
+		return nil
+	}
+	rest := body[len(allowKeyword):]
+	// The keyword must be followed by whitespace, not more word
+	// characters: "hetmp:allowwallclock" is a typo, not a directive.
+	if rest == "" || (rest[0] != ' ' && rest[0] != '\t') {
+		return nil
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 || fields[0] == "--" {
+		return nil
+	}
+	var checks []string
+	for _, name := range strings.Split(fields[0], ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			checks = append(checks, name)
+		}
+	}
+	return checks
+}
+
+// suppressed reports whether a diagnostic from check at pos is covered
+// by an allow comment (placement already resolved by the index).
+func (idx suppressionIndex) suppressed(fset *token.FileSet, pos token.Pos, check string) bool {
+	p := fset.Position(pos)
+	byLine := idx[p.Filename]
+	if byLine == nil {
+		return false
+	}
+	set := byLine[p.Line]
+	return set != nil && set[check]
+}

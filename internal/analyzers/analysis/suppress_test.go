@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"reflect"
+	"testing"
+)
+
+func TestParseAllowComment(t *testing.T) {
+	cases := []struct {
+		text string
+		want []string
+	}{
+		{"//hetmp:allow wallclock", []string{"wallclock"}},
+		{"//hetmp:allow wallclock -- reason text here", []string{"wallclock"}},
+		{"//hetmp:allow wallclock,maporder", []string{"wallclock", "maporder"}},
+		{"//hetmp:allow wallclock, maporder", []string{"wallclock"}}, // space splits the list
+		{"//hetmp:allow  \t wallclock", []string{"wallclock"}},
+		{"// hetmp:allow wallclock -- leading space tolerated", []string{"wallclock"}},
+		{"//hetmp:allow ,", nil},
+
+		// Wrong keyword shapes must not suppress.
+		{"//hetmp:allows wallclock", nil},
+		{"//hetmp:allowwallclock", nil},
+		{"//hetmp:allow", nil},
+		{"//hetmp:allow -- reason but no checks", nil},
+		{"//hetmp:disallow wallclock", nil},
+		{"//nolint:wallclock", nil},
+		{"// want hetmp:allow wallclock", nil},
+	}
+	for _, c := range cases {
+		if got := parseAllowComment(c.text); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("parseAllowComment(%q) = %v, want %v", c.text, got, c.want)
+		}
+	}
+}
+
+const suppressSrc = `package p
+
+func f() {
+	sameLine() //hetmp:allow check -- same line
+	noComment()
+	//hetmp:allow check -- line above
+	lineAbove()
+	/* hetmp:allow check */
+	blockComment()
+	//hetmp:allow other -- different check name
+	wrongCheck()
+	//hetmp:allow check -- two lines above its target
+
+	wrongLine()
+}
+`
+
+// TestSuppressionIndexPlacement pins the placement rules: same line and
+// line-immediately-above suppress; block comments, wrong check names,
+// and comments two lines up do not.
+func TestSuppressionIndexPlacement(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", suppressSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := buildSuppressionIndex(fset, []*ast.File{f})
+
+	calls := map[string]token.Pos{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				calls[id.Name] = call.Pos()
+			}
+		}
+		return true
+	})
+
+	want := map[string]bool{
+		"sameLine":     true,
+		"noComment":    false,
+		"lineAbove":    true,
+		"blockComment": false,
+		"wrongCheck":   false,
+		"wrongLine":    false,
+	}
+	for name, wantSup := range want {
+		pos, ok := calls[name]
+		if !ok {
+			t.Fatalf("call %s not found in fixture", name)
+		}
+		if got := idx.suppressed(fset, pos, "check"); got != wantSup {
+			t.Errorf("%s: suppressed = %v, want %v", name, got, wantSup)
+		}
+	}
+	// A different check name on a suppressed line is still reported.
+	if idx.suppressed(fset, calls["sameLine"], "othercheck") {
+		t.Errorf("sameLine suppressed for a check its comment does not list")
+	}
+}

@@ -1,0 +1,29 @@
+// Package analyzers aggregates the hetmplint analyzer suite.
+//
+// Each analyzer enforces one determinism or safety invariant of the
+// runtime (see DESIGN.md §13). The suite runs offline on a minimal
+// reimplementation of the go/analysis API (internal/analyzers/analysis)
+// because the build environment is hermetic; the analyzer code itself
+// is written against the x/tools-shaped API so it can migrate to the
+// real framework by changing import paths.
+package analyzers
+
+import (
+	"hetmp/internal/analyzers/analysis"
+	"hetmp/internal/analyzers/blockinglock"
+	"hetmp/internal/analyzers/maporder"
+	"hetmp/internal/analyzers/randsource"
+	"hetmp/internal/analyzers/telemetryhandle"
+	"hetmp/internal/analyzers/wallclock"
+)
+
+// All returns the full hetmplint suite in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		blockinglock.Analyzer,
+		maporder.Analyzer,
+		randsource.Analyzer,
+		telemetryhandle.Analyzer,
+		wallclock.Analyzer,
+	}
+}

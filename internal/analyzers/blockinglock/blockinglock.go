@@ -1,0 +1,302 @@
+// Package blockinglock flags operations that can block — channel sends
+// and receives, select statements, simtime yields, interconnect
+// round-trips — performed while a sync.Mutex or sync.RWMutex is
+// provably held.
+//
+// Invariant: the DSM protocol deadlock shape is "hold a lock, wait for
+// progress that needs the lock". In the simulator the waits are
+// simtime yields (Advance/Yield/Join park the proc) and modelled
+// interconnect round-trips; in the RPC layer they are real channel
+// operations. Either way, blocking under a mutex serializes the very
+// concurrency the runtime exists to exploit, and with the DSM protocol
+// it deadlocks outright when the unblocking party needs the same lock.
+//
+// The analysis is intraprocedural and deliberately conservative in a
+// specific direction: a lock taken inside a branch is considered
+// released when the branch ends, and function literals are analyzed as
+// independent functions with no locks held. It therefore underreports
+// cross-function holds; what it does report is a straight-line hold in
+// one function body, which is exactly the shape that survives review.
+package blockinglock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"hetmp/internal/analyzers/analysis"
+	"hetmp/internal/analyzers/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "blockinglock",
+	Doc:  "flags channel ops, simtime yields, and interconnect round-trips performed while a sync.Mutex/RWMutex is provably held",
+	Run:  run,
+}
+
+// simtimeBlocking park the calling proc until the engine resumes it.
+var simtimeBlocking = map[string]bool{
+	"Advance":   true,
+	"AdvanceTo": true,
+	"Yield":     true,
+	"Join":      true,
+	"Run":       true,
+}
+
+// interconnectRoundTrips model cross-node protocol exchanges; in the
+// real system they are blocking round-trips, and in the simulator they
+// are always paired with an Advance of the modelled cost.
+var interconnectRoundTrips = map[string]bool{
+	"PageFault":      true,
+	"ControlMessage": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					scanBody(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				scanBody(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// held maps a lock expression (printed form, e.g. "s.mu") to the
+// printed form shown in diagnostics.
+type held map[string]bool
+
+func (h held) copyOf() held {
+	c := held{}
+	for k := range h {
+		c[k] = true
+	}
+	return c
+}
+
+func (h held) any() (string, bool) {
+	// Deterministic pick for the diagnostic: the lexically smallest
+	// name (held sets are tiny; this is simpler than tracking order).
+	best := ""
+	for k := range h {
+		if best == "" || k < best {
+			best = k
+		}
+	}
+	return best, best != ""
+}
+
+func scanBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	s := &scanner{pass: pass}
+	s.block(body, held{})
+}
+
+type scanner struct {
+	pass *analysis.Pass
+}
+
+func (s *scanner) block(b *ast.BlockStmt, h held) held {
+	for _, st := range b.List {
+		h = s.stmt(st, h)
+	}
+	return h
+}
+
+// stmt processes one statement, returning the lock set after it.
+// Branch bodies get a copy of the set: a lock acquired inside a branch
+// is not assumed held afterwards (conservative toward fewer false
+// positives), while a lock acquired before the branch is held inside
+// it.
+func (s *scanner) stmt(st ast.Stmt, h held) held {
+	switch st := st.(type) {
+	case *ast.BlockStmt:
+		return s.block(st, h)
+	case *ast.LabeledStmt:
+		return s.stmt(st.Stmt, h)
+	case *ast.ExprStmt:
+		if name, locking := s.lockCall(st.X); name != "" {
+			if locking {
+				h = h.copyOf()
+				h[name] = true
+			} else {
+				h = h.copyOf()
+				delete(h, name)
+			}
+			return h
+		}
+		s.checkExpr(st.X, h)
+		return h
+	case *ast.DeferStmt:
+		// defer mu.Unlock() releases at return: the lock stays held
+		// for the remainder of the body, which the set already says.
+		// Other deferred calls run after everything else; their
+		// bodies are scanned as independent function literals.
+		return h
+	case *ast.GoStmt:
+		// The spawned goroutine does not inherit the caller's locks.
+		return h
+	case *ast.SendStmt:
+		if name, ok := h.any(); ok {
+			s.pass.Reportf(st.Arrow, "channel send while %q is held; sends can block and the receiver may need the lock", name)
+		}
+		s.checkExpr(st.Chan, h)
+		s.checkExpr(st.Value, h)
+		return h
+	case *ast.SelectStmt:
+		if name, ok := h.any(); ok {
+			s.pass.Reportf(st.Select, "select while %q is held; all arms can block under the lock", name)
+		}
+		for _, cl := range st.Body.List {
+			if comm, ok := cl.(*ast.CommClause); ok {
+				for _, cs := range comm.Body {
+					s.stmt(cs, h.copyOf())
+				}
+			}
+		}
+		return h
+	case *ast.IfStmt:
+		if st.Init != nil {
+			h = s.stmt(st.Init, h.copyOf())
+		}
+		s.checkExpr(st.Cond, h)
+		s.block(st.Body, h.copyOf())
+		if st.Else != nil {
+			s.stmt(st.Else, h.copyOf())
+		}
+		return h
+	case *ast.ForStmt:
+		if st.Init != nil {
+			s.stmt(st.Init, h.copyOf())
+		}
+		if st.Cond != nil {
+			s.checkExpr(st.Cond, h)
+		}
+		s.block(st.Body, h.copyOf())
+		return h
+	case *ast.RangeStmt:
+		s.checkExpr(st.X, h)
+		s.block(st.Body, h.copyOf())
+		return h
+	case *ast.SwitchStmt:
+		if st.Tag != nil {
+			s.checkExpr(st.Tag, h)
+		}
+		for _, cl := range st.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				for _, cs := range cc.Body {
+					s.stmt(cs, h.copyOf())
+				}
+			}
+		}
+		return h
+	case *ast.TypeSwitchStmt:
+		for _, cl := range st.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				for _, cs := range cc.Body {
+					s.stmt(cs, h.copyOf())
+				}
+			}
+		}
+		return h
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			s.checkExpr(e, h)
+		}
+		return h
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			s.checkExpr(e, h)
+		}
+		return h
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						s.checkExpr(e, h)
+					}
+				}
+			}
+		}
+		return h
+	default:
+		return h
+	}
+}
+
+// lockCall classifies expr as a mutex Lock/RLock (locking=true) or
+// Unlock/RUnlock (locking=false) call, returning the printed receiver
+// ("" when it is neither).
+func (s *scanner) lockCall(expr ast.Expr) (name string, locking bool) {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn := lintutil.CalleeFunc(s.pass.TypesInfo, call)
+	if fn == nil || lintutil.FuncPkgPath(fn) != "sync" {
+		return "", false
+	}
+	recvPkg, recvType := lintutil.ReceiverNamed(fn)
+	if recvPkg != "sync" || (recvType != "Mutex" && recvType != "RWMutex") {
+		return "", false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return types.ExprString(sel.X), true
+	case "Unlock", "RUnlock":
+		return types.ExprString(sel.X), false
+	}
+	return "", false
+}
+
+func isWaitGroupWait(fn *types.Func) bool {
+	_, recvType := lintutil.ReceiverNamed(fn)
+	return recvType == "WaitGroup"
+}
+
+// checkExpr flags blocking operations inside an expression evaluated
+// while locks are held. Function literals are skipped (fresh functions,
+// scanned separately with nothing held).
+func (s *scanner) checkExpr(expr ast.Expr, h held) {
+	name, lockHeld := h.any()
+	if !lockHeld {
+		return
+	}
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				s.pass.Reportf(n.OpPos, "channel receive while %q is held; the sender may need the lock to make progress", name)
+			}
+		case *ast.CallExpr:
+			fn := lintutil.CalleeFunc(s.pass.TypesInfo, n)
+			if fn == nil {
+				return true
+			}
+			pkg := lintutil.FuncPkgPath(fn)
+			switch {
+			case lintutil.HasSegment(pkg, "simtime") && simtimeBlocking[fn.Name()]:
+				s.pass.Reportf(n.Pos(), "simtime yield %s while %q is held; the proc parks under the lock and the resuming proc may need it", fn.Name(), name)
+			case lintutil.HasSegment(pkg, "interconnect") && interconnectRoundTrips[fn.Name()]:
+				s.pass.Reportf(n.Pos(), "interconnect round-trip %s while %q is held; protocol exchanges must not run under a DSM lock", fn.Name(), name)
+			case pkg == "sync" && fn.Name() == "Wait" && isWaitGroupWait(fn):
+				// sync.Cond.Wait is NOT flagged: it atomically releases
+				// the mutex while parked, which is the one sanctioned
+				// way to wait under a lock.
+				s.pass.Reportf(n.Pos(), "sync.WaitGroup.Wait while %q is held; the waited-on goroutines may need the lock", name)
+			}
+		}
+		return true
+	})
+}

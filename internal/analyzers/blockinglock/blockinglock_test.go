@@ -1,0 +1,12 @@
+package blockinglock_test
+
+import (
+	"testing"
+
+	"hetmp/internal/analyzers/analysis/analysistest"
+	"hetmp/internal/analyzers/blockinglock"
+)
+
+func TestBlockinglock(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), blockinglock.Analyzer, "b")
+}

@@ -1,0 +1,105 @@
+// Package b exercises blockinglock: blocking operations under a held
+// sync.Mutex/RWMutex are flagged; the sanctioned wait shapes are not.
+package b
+
+import (
+	"math/rand"
+	"sync"
+
+	"hetmp/internal/interconnect"
+	"hetmp/internal/machine"
+	"hetmp/internal/simtime"
+)
+
+type state struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	cond *sync.Cond
+	wg   sync.WaitGroup
+	ch   chan int
+}
+
+func sendUnderLock(s *state) {
+	s.mu.Lock()
+	s.ch <- 1 // want `channel send while "s.mu" is held`
+	s.mu.Unlock()
+	s.ch <- 2 // released: fine
+}
+
+func receiveUnderDeferredUnlock(s *state) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := <-s.ch // want `channel receive while "s.mu" is held`
+	return v
+}
+
+func selectUnderRLock(s *state) {
+	s.rw.RLock()
+	select { // want `select while "s.rw" is held`
+	case v := <-s.ch:
+		_ = v
+	default:
+	}
+	s.rw.RUnlock()
+}
+
+func waitGroupUnderLock(s *state) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wg.Wait() // want `sync.WaitGroup.Wait while "s.mu" is held`
+}
+
+func simtimeYieldUnderLock(s *state, p *simtime.Proc) {
+	s.mu.Lock()
+	p.Advance(10) // want `simtime yield Advance while "s.mu" is held`
+	s.mu.Unlock()
+	p.Yield() // released: fine
+}
+
+func roundTripUnderLock(s *state, spec interconnect.Spec, n machine.NodeSpec, rng *rand.Rand) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = spec.PageFault(n, n, 4096, rng) // want `interconnect round-trip PageFault while "s.mu" is held`
+}
+
+// --- allowed ---
+
+func condWaitUnderLock(s *state) {
+	// sync.Cond.Wait atomically releases the mutex while parked: the
+	// one sanctioned way to wait under a lock.
+	s.mu.Lock()
+	s.cond.Wait()
+	s.mu.Unlock()
+}
+
+func goroutineDoesNotInheritLock(s *state) {
+	s.mu.Lock()
+	go func() {
+		s.ch <- 1 // runs without the caller's lock
+	}()
+	s.mu.Unlock()
+}
+
+func branchScopedLock(s *state, take bool) {
+	if take {
+		s.mu.Lock()
+		s.mu.Unlock()
+	}
+	s.ch <- 1 // lock provably released on the taken path
+}
+
+func lockedSectionThenBlock(s *state, p *simtime.Proc) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	p.Advance(5)
+	<-s.ch
+}
+
+// --- suppressed ---
+
+func suppressed(s *state) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//hetmp:allow blockinglock -- fixture: buffered signal channel, capacity guarantees no block
+	s.ch <- 1
+}

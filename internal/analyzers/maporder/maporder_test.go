@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"hetmp/internal/analyzers/analysis/analysistest"
+	"hetmp/internal/analyzers/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), maporder.Analyzer, "a", "vt")
+}

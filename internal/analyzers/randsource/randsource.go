@@ -1,0 +1,66 @@
+// Package randsource flags the global math/rand entry points.
+//
+// Invariant: every random draw in the system flows through a seeded
+// *rand.Rand that is owned by the component using it (simtime.Engine,
+// chaos.Injector, experiment suites). The global functions (rand.Intn,
+// rand.Float64, ...) share process-wide state that is seeded
+// differently per run and raced across goroutines, so any use makes
+// chaos schedules and probe decisions non-replayable. Constructors
+// (rand.New, rand.NewSource, rand.NewZipf, rand.NewPCG) are how seeded
+// generators are built and are therefore allowed.
+package randsource
+
+import (
+	"go/ast"
+	"go/types"
+
+	"hetmp/internal/analyzers/analysis"
+	"hetmp/internal/analyzers/lintutil"
+)
+
+var randPkgs = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// constructors build explicit generators/sources and are the sanctioned
+// way to obtain seeded randomness.
+var constructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "randsource",
+	Doc:  "flags global math/rand functions; all randomness must flow through a seeded *rand.Rand so chaos/probe runs stay reproducible",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			// Method calls on a *rand.Rand value have a Selection
+			// entry; package-level rand.X uses do not. Only the
+			// latter are global state.
+			if _, isMethod := pass.TypesInfo.Selections[sel]; isMethod {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || !randPkgs[lintutil.FuncPkgPath(fn)] || constructors[fn.Name()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"global rand.%s uses process-wide random state; draw from a seeded *rand.Rand (engine/injector/suite owned) instead",
+				fn.Name())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package randsource_test
+
+import (
+	"testing"
+
+	"hetmp/internal/analyzers/analysis/analysistest"
+	"hetmp/internal/analyzers/randsource"
+)
+
+func TestRandsource(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), randsource.Analyzer, "r")
+}

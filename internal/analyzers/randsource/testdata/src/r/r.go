@@ -1,0 +1,39 @@
+// Package r exercises randsource: global math/rand state is flagged,
+// seeded generators and their constructors are not.
+package r
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+func flagged() {
+	_ = rand.Intn(10)        // want "global rand.Intn"
+	_ = rand.Float64()       // want "global rand.Float64"
+	_ = rand.Int63()         // want "global rand.Int63"
+	_ = rand.Perm(4)         // want "global rand.Perm"
+	rand.Shuffle(3, swap)    // want "global rand.Shuffle"
+	rand.Seed(42)            // want "global rand.Seed"
+	_ = randv2.IntN(10)      // want "global rand.IntN"
+	_ = randv2.Uint64()      // want "global rand.Uint64"
+	fn := rand.ExpFloat64    // want "global rand.ExpFloat64"
+	_ = fn
+}
+
+func swap(i, j int) {}
+
+// --- allowed: seeded, component-owned generators ---
+
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, 1.1, 1, 100)
+	r2 := randv2.New(randv2.NewPCG(1, 2))
+	return rng.Float64() + float64(z.Uint64()) + r2.Float64()
+}
+
+// --- suppressed ---
+
+func suppressed() int {
+	//hetmp:allow randsource -- fixture: one-off jitter outside any replayed path
+	return rand.Intn(3)
+}

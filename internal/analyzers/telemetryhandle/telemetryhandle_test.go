@@ -1,0 +1,12 @@
+package telemetryhandle_test
+
+import (
+	"testing"
+
+	"hetmp/internal/analyzers/analysis/analysistest"
+	"hetmp/internal/analyzers/telemetryhandle"
+)
+
+func TestTelemetryhandle(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), telemetryhandle.Analyzer, "h")
+}

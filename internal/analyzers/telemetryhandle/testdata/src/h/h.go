@@ -1,0 +1,64 @@
+// Package h exercises telemetryhandle against the real telemetry
+// package: registry lookups inside loops are flagged, cached-handle use
+// and construction-time lookups are not.
+package h
+
+import "hetmp/internal/telemetry"
+
+func flagged(m *telemetry.Registry, names []string) {
+	for _, n := range names {
+		m.Counter("iters", telemetry.L("node", n)).Inc() // want "telemetry.Registry.Counter inside a loop"
+	}
+	for i := 0; i < 4; i++ {
+		m.Gauge("depth").Set(float64(i)) // want "telemetry.Registry.Gauge inside a loop"
+	}
+	for {
+		m.Histogram("lat").Observe(0) // want "telemetry.Registry.Histogram inside a loop"
+		return
+	}
+}
+
+func flaggedNested(m *telemetry.Registry, grid [][]string) {
+	for _, row := range grid {
+		for _, cell := range row {
+			m.Counter("cells", telemetry.L("c", cell)).Inc() // want "telemetry.Registry.Counter inside a loop"
+		}
+	}
+}
+
+// --- allowed ---
+
+type component struct {
+	iters *telemetry.Counter
+}
+
+func newComponent(m *telemetry.Registry) *component {
+	// Lookup at construction, outside any loop: the contract.
+	return &component{iters: m.Counter("iters")}
+}
+
+func (c *component) hotPath(n int) {
+	for i := 0; i < n; i++ {
+		c.iters.Inc() // cached handle: one atomic, no lookup
+	}
+}
+
+func closureInLoop(m *telemetry.Registry, names []string) []func() {
+	var fns []func()
+	for _, n := range names {
+		n := n
+		// A closure built in a wiring loop resolves its handle when
+		// called, not per loop iteration.
+		fns = append(fns, func() { m.Counter("lazy", telemetry.L("n", n)).Inc() })
+	}
+	return fns
+}
+
+// --- suppressed ---
+
+func suppressed(m *telemetry.Registry, names []string) {
+	for _, n := range names {
+		//hetmp:allow telemetryhandle -- fixture: construction-time wiring loop, runs once per component
+		_ = m.Counter("wired", telemetry.L("n", n))
+	}
+}

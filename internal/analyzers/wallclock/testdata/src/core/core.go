@@ -1,0 +1,57 @@
+// Package core masquerades as a virtual-time package (path segment
+// "core") for the wallclock fixture: every wall-clock construct must be
+// flagged, duration arithmetic must not.
+package core
+
+import "time"
+
+func flagged() {
+	_ = time.Now()                  // want "wall clock time.Now"
+	time.Sleep(time.Millisecond)    // want "wall clock time.Sleep"
+	<-time.After(time.Second)       // want "wall clock time.After"
+	t := time.NewTimer(time.Second) // want "wall clock time.NewTimer"
+	t.Stop()
+	k := time.NewTicker(time.Second) // want "wall clock time.NewTicker"
+	k.Stop()
+	start := time.Unix(0, 0)
+	_ = time.Since(start) // want "wall clock time.Since"
+	_ = time.Until(start) // want "wall clock time.Until"
+}
+
+// Storing the function is as wall-coupled as calling it.
+var clock = time.Now // want "wall clock time.Now"
+
+func allowed() time.Duration {
+	d, _ := time.ParseDuration("3ms")
+	d += 2 * time.Millisecond
+	epoch := time.Unix(12, 0)
+	return d + epoch.Sub(time.Unix(0, 0))
+}
+
+func suppressed() {
+	//hetmp:allow wallclock -- fixture: sanctioned wall read on the comment-above form
+	_ = time.Now()
+	time.Sleep(time.Microsecond) //hetmp:allow wallclock -- fixture: trailing-comment form
+	_ = time.Now()               //hetmp:allow wallclock,maporder -- fixture: multi-check list form
+}
+
+func suppressionEdgeCases() {
+	_ = time.Now() //hetmp:allows wallclock // want "wall clock time.Now"
+
+	_ = time.Now() //hetmp:allowwallclock // want "wall clock time.Now"
+
+	// Wrong check name does not suppress a wallclock finding.
+	_ = time.Now() //hetmp:allow maporder // want "wall clock time.Now"
+
+	//hetmp:allow wallclock -- wrong line: two lines above the finding
+
+	_ = time.Now() // want "wall clock time.Now"
+
+	/* hetmp:allow wallclock */
+	_ = time.Now() // want "wall clock time.Now"
+
+	_ = time.Now() /* hetmp:allow wallclock */ // want "wall clock time.Now"
+
+	//hetmp:allow -- bare keyword with no check list
+	_ = time.Now() // want "wall clock time.Now"
+}

@@ -1,0 +1,13 @@
+// Package rpcboundary is NOT a virtual-time package: wall-clock use is
+// the legitimate time source here and nothing may be flagged.
+package rpcboundary
+
+import "time"
+
+func Deadline(timeout time.Duration) time.Time {
+	return time.Now().Add(timeout)
+}
+
+func Backoff(d time.Duration) {
+	time.Sleep(d)
+}

@@ -196,6 +196,7 @@ func (in *Injector) SetTelemetry(t *telemetry.Telemetry, nodeNames []string) {
 	in.slowGauges = make([]*telemetry.Gauge, len(nodeNames))
 	in.lastSlow = make([]float64, len(nodeNames))
 	for i, name := range nodeNames {
+		//hetmp:allow telemetryhandle -- construction-time wiring: SetTelemetry runs once per injector, not per event
 		in.slowGauges[i] = m.Gauge("hetmp_chaos_node_slowdown", telemetry.L("node", name))
 		in.slowGauges[i].Set(1)
 		in.lastSlow[i] = 1

@@ -100,9 +100,11 @@ func (c *Local) Run(master func(Env)) error {
 	if !c.started.CompareAndSwap(false, true) {
 		return errors.New("cluster: Local.Run called twice")
 	}
+	//hetmp:allow wallclock -- Local is the real-goroutine coherent backend: its clock IS the host clock (sim backend uses simtime)
 	c.start = time.Now()
 	master(&localEnv{c: c, node: 0})
 	c.wg.Wait()
+	//hetmp:allow wallclock -- see above: Local measures real elapsed execution by design
 	c.elapsed = time.Since(c.start)
 	return nil
 }
@@ -123,6 +125,7 @@ type localEnv struct {
 var _ Env = (*localEnv)(nil)
 
 func (e *localEnv) Node() int          { return e.node }
+//hetmp:allow wallclock -- Local's Env.Now is wall time since Run started by design; virtual time lives in the sim backend
 func (e *localEnv) Now() time.Duration { return time.Since(e.c.start) }
 
 // Compute implements Env: the caller's body does the real work; only

@@ -181,6 +181,7 @@ func New(cl cluster.Cluster, opts Options) *Runtime {
 		specs := cl.NodeSpecs()
 		rt.iterCtrs = make([]*telemetry.Counter, len(specs))
 		for i, s := range specs {
+			//hetmp:allow telemetryhandle -- construction-time wiring: New runs once per runtime, not per iteration
 			rt.iterCtrs[i] = m.Counter("hetmp_iterations_total", telemetry.L("node", s.Name))
 			rt.tracer.NameTrack(workerTrack(i, -1), "node "+strconv.Itoa(i)+" ("+s.Name+")", "master")
 		}

@@ -2,6 +2,7 @@ package dsm
 
 import (
 	"math/rand"
+	"slices"
 	"testing"
 	"testing/quick"
 	"time"
@@ -381,8 +382,17 @@ func TestProtocolInvariantsProperty(t *testing.T) {
 					return
 				}
 			}
-			// Last writers must still have exclusive access.
-			for pg, node := range lastWriter {
+			// Last writers must still have exclusive access. Iterate
+			// in sorted page order: AccessPage consumes virtual time,
+			// so map-order iteration would tie the proc's clock to
+			// the map seed.
+			pages := make([]int64, 0, len(lastWriter))
+			for pg := range lastWriter {
+				pages = append(pages, pg)
+			}
+			slices.Sort(pages)
+			for _, pg := range pages {
+				node := lastWriter[pg]
 				w, _ := r.PageOwner(pg)
 				if w != -1 && w != node {
 					ok = false

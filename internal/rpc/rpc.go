@@ -159,6 +159,16 @@ type Server struct {
 	done   chan struct{}
 	conns  map[net.Conn]struct{}
 	served atomic.Int64
+
+	// Telemetry handles, resolved once in registerMetrics so the
+	// per-request path never takes the registry mutex (hetmplint
+	// telemetryhandle contract). Each is a valid nop when nil.
+	reqCtr          *telemetry.Counter
+	iterCtr         *telemetry.Counter
+	taskHist        *telemetry.Histogram
+	dropFaultCtr    *telemetry.Counter
+	stallFaultCtr   *telemetry.Counter
+	corruptFaultCtr *telemetry.Counter
 }
 
 // Serve accepts connections on ln until Close is called. It returns
@@ -182,12 +192,12 @@ func (s *Server) registerMetrics() {
 	m := s.Telemetry.Metrics()
 	lbl := s.serverLabel()
 	s.Telemetry.Tracer().NameTrack(telemetry.Track{}, "hetworker "+lbl.Val, "tasks")
-	m.Counter("hetmp_rpc_server_requests_total", lbl)
-	m.Counter("hetmp_rpc_server_iterations_total", lbl)
-	m.Histogram("hetmp_rpc_server_task_seconds", lbl)
-	for _, kind := range []string{"drop", "stall", "corrupt"} {
-		m.Counter("hetmp_rpc_server_faults_injected_total", lbl, telemetry.L("kind", kind))
-	}
+	s.reqCtr = m.Counter("hetmp_rpc_server_requests_total", lbl)
+	s.iterCtr = m.Counter("hetmp_rpc_server_iterations_total", lbl)
+	s.taskHist = m.Histogram("hetmp_rpc_server_task_seconds", lbl)
+	s.dropFaultCtr = m.Counter("hetmp_rpc_server_faults_injected_total", lbl, telemetry.L("kind", "drop"))
+	s.stallFaultCtr = m.Counter("hetmp_rpc_server_faults_injected_total", lbl, telemetry.L("kind", "stall"))
+	s.corruptFaultCtr = m.Counter("hetmp_rpc_server_faults_injected_total", lbl, telemetry.L("kind", "corrupt"))
 }
 
 func (s *Server) Serve(ln net.Listener) error {
@@ -294,16 +304,15 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 		seq := int(s.served.Add(1))
-		m := s.Telemetry.Metrics()
-		m.Counter("hetmp_rpc_server_requests_total", s.serverLabel()).Inc()
+		s.reqCtr.Inc()
 		f := s.Fault
 		if f != nil && f.DropAfter > 0 && seq >= f.DropAfter &&
 			(f.DropCount <= 0 || seq < f.DropAfter+f.DropCount) {
-			m.Counter("hetmp_rpc_server_faults_injected_total", s.serverLabel(), telemetry.L("kind", "drop")).Inc()
+			s.dropFaultCtr.Inc()
 			return // hang up without replying
 		}
 		if f != nil && f.StallFor > 0 && seq >= max(1, f.StallAfter) {
-			m.Counter("hetmp_rpc_server_faults_injected_total", s.serverLabel(), telemetry.L("kind", "stall")).Inc()
+			s.stallFaultCtr.Inc()
 			select {
 			case <-time.After(f.StallFor):
 			case <-s.doneChan():
@@ -316,7 +325,7 @@ func (s *Server) handle(conn net.Conn) {
 				resp.ElapsedNs = 0
 			}
 			if f.CorruptAfter > 0 && seq >= f.CorruptAfter {
-				m.Counter("hetmp_rpc_server_faults_injected_total", s.serverLabel(), telemetry.L("kind", "corrupt")).Inc()
+				s.corruptFaultCtr.Inc()
 				resp.ID += 1 << 20
 			}
 		}
@@ -356,9 +365,8 @@ func (s *Server) execute(req request) response {
 		tr.Emit(telemetry.Track{Pid: 0, Tid: 0}, "task "+req.Task, spanStart, tr.WallNow(),
 			telemetry.Arg{Key: "lo", Val: fmt.Sprint(req.Lo)},
 			telemetry.Arg{Key: "hi", Val: fmt.Sprint(req.Hi)})
-		m := s.Telemetry.Metrics()
-		m.Counter("hetmp_rpc_server_iterations_total", s.serverLabel()).Add(int64(req.Hi - req.Lo))
-		m.Histogram("hetmp_rpc_server_task_seconds", s.serverLabel()).Observe(elapsed)
+		s.iterCtr.Add(int64(req.Hi - req.Lo))
+		s.taskHist.Observe(elapsed)
 	}
 	return response{ID: req.ID, Partial: partial, ElapsedNs: elapsed.Nanoseconds()}
 }
@@ -732,6 +740,7 @@ func (p *Pool) Run(task string, n int, arg float64, opts RunOptions) (float64, [
 		alive:   make([]bool, len(workers)),
 		speeds:  make([]float64, len(workers)),
 		stats:   make([]WorkerStats, len(workers)),
+		tel:     make([]workerTel, len(workers)),
 		metrics: p.Telemetry.Metrics(),
 		tracer:  p.Telemetry.Tracer(),
 	}
@@ -739,6 +748,7 @@ func (p *Pool) Run(task string, n int, arg float64, opts RunOptions) (float64, [
 		r.alive[i] = true
 		r.speeds[i] = 1
 		r.stats[i] = WorkerStats{Name: w.name, Alive: true}
+		r.tel[i] = newWorkerTel(r.metrics, w.name)
 		r.tracer.NameTrack(r.workerTrack(i), "pool", "worker "+w.name)
 	}
 	return r.execute(n, opts.ProbeFraction, combine)
@@ -756,10 +766,37 @@ type run struct {
 	alive   []bool
 	speeds  []float64
 	stats   []WorkerStats
+	// tel caches worker i's metric handles so per-chunk and per-retry
+	// accounting never takes the registry mutex.
+	tel []workerTel
 	// metrics and tracer are nil (valid nops) when the pool has no
 	// telemetry attached.
 	metrics *telemetry.Registry
 	tracer  *telemetry.Tracer
+}
+
+// workerTel is one worker's cached metric handles, resolved once per
+// run (hetmplint telemetryhandle contract). Every field is a valid nop
+// when the pool has no telemetry.
+type workerTel struct {
+	iters     *telemetry.Counter
+	chunks    *telemetry.Histogram
+	retries   *telemetry.Counter
+	deadlines *telemetry.Counter
+	deaths    *telemetry.Counter
+	redist    *telemetry.Counter
+}
+
+func newWorkerTel(m *telemetry.Registry, name string) workerTel {
+	lbl := telemetry.L("worker", name)
+	return workerTel{
+		iters:     m.Counter("hetmp_rpc_iterations_total", lbl),
+		chunks:    m.Histogram("hetmp_rpc_chunk_seconds", lbl),
+		retries:   m.Counter("hetmp_rpc_retries_total", lbl),
+		deadlines: m.Counter("hetmp_rpc_deadline_expiries_total", lbl),
+		deaths:    m.Counter("hetmp_rpc_worker_deaths_total", lbl),
+		redist:    m.Counter("hetmp_rpc_redistributed_iterations_total", lbl),
+	}
 }
 
 // workerTrack is worker i's trace timeline on the pool side (one
@@ -768,10 +805,6 @@ func (r *run) workerTrack(i int) telemetry.Track {
 	return telemetry.Track{Pid: 0, Tid: i + 1}
 }
 
-// workerLabel is worker i's metric label.
-func (r *run) workerLabel(i int) telemetry.Label {
-	return telemetry.L("worker", r.workers[i].name)
-}
 
 // chunkDone is one successfully executed and accounted span.
 type chunkDone struct {
@@ -878,8 +911,8 @@ func (r *run) fail(i int, err error, lost int) {
 	r.stats[i].Alive = false
 	r.stats[i].Failure = err.Error()
 	r.stats[i].Redistributed += lost
-	r.metrics.Counter("hetmp_rpc_worker_deaths_total", r.workerLabel(i)).Inc()
-	r.metrics.Counter("hetmp_rpc_redistributed_iterations_total", r.workerLabel(i)).Add(int64(lost))
+	r.tel[i].deaths.Inc()
+	r.tel[i].redist.Add(int64(lost))
 	r.pool.dropWorker(r.workers[i])
 }
 
@@ -957,8 +990,8 @@ func (r *run) runBatch(assigns [][]span) []workerOutcome {
 					r.tracer.Emit(r.workerTrack(i), "chunk "+r.task, chunkStart, r.tracer.WallNow(),
 						telemetry.Arg{Key: "lo", Val: fmt.Sprint(sp.lo)},
 						telemetry.Arg{Key: "hi", Val: fmt.Sprint(sp.hi)})
-					r.metrics.Counter("hetmp_rpc_iterations_total", r.workerLabel(i)).Add(int64(sp.hi - sp.lo))
-					r.metrics.Histogram("hetmp_rpc_chunk_seconds", r.workerLabel(i)).Observe(time.Duration(resp.ElapsedNs))
+					r.tel[i].iters.Add(int64(sp.hi - sp.lo))
+					r.tel[i].chunks.Observe(time.Duration(resp.ElapsedNs))
 				}
 				outs[i].done = append(outs[i].done, chunkDone{
 					sp:      sp,
@@ -990,7 +1023,7 @@ func (r *run) callChunk(i int, sp span) (response, error) {
 			}
 			time.Sleep(r.backoff << (attempt - 1))
 			r.stats[i].Retries++
-			r.metrics.Counter("hetmp_rpc_retries_total", r.workerLabel(i)).Inc()
+			r.tel[i].retries.Inc()
 			fresh, err := dialWorker(w.addr)
 			if err != nil {
 				lastErr = err
@@ -1016,7 +1049,7 @@ func (r *run) callChunk(i int, sp span) (response, error) {
 		}
 		var ne net.Error
 		if errors.As(err, &ne) && ne.Timeout() {
-			r.metrics.Counter("hetmp_rpc_deadline_expiries_total", r.workerLabel(i)).Inc()
+			r.tel[i].deadlines.Inc()
 		}
 		w.closeConn()
 	}

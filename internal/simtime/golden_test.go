@@ -5,6 +5,7 @@ import (
 	"hash/fnv"
 	"math/rand"
 	"os"
+	"slices"
 	"testing"
 	"time"
 )
@@ -178,7 +179,16 @@ func TestGoldenTraceSmall(t *testing.T) {
 }
 
 func TestGoldenTraceRandom(t *testing.T) {
-	for seed, want := range goldenRandomWant {
+	// Sorted seed order: each goldenRandom runs an independent engine,
+	// but map-order iteration would shuffle -v output and make any
+	// failure ordering depend on the map seed.
+	seeds := make([]int64, 0, len(goldenRandomWant))
+	for seed := range goldenRandomWant {
+		seeds = append(seeds, seed)
+	}
+	slices.Sort(seeds)
+	for _, seed := range seeds {
+		want := goldenRandomWant[seed]
 		tr, maxNow := goldenRandom(seed)
 		if os.Getenv("HETMP_GOLDEN_PRINT") != "" {
 			fmt.Printf("seed %d: hash=%#x maxNow=%d (%d events)\n", seed, tr.hash(), maxNow, len(tr.events))

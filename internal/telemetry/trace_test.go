@@ -99,6 +99,7 @@ func TestConcurrentEmission(t *testing.T) {
 	}
 	var total int64
 	for g := 0; g < 4; g++ {
+		//hetmp:allow telemetryhandle -- readback in a test assertion; the lookup path is part of what this test exercises
 		total += reg.Counter("hetmp_conc_total", L("g", fmt.Sprint(g))).Value()
 	}
 	if total != goroutines*perG {
