@@ -28,7 +28,7 @@ race:
 # The packages with real goroutine concurrency, raced quickly.
 .PHONY: race-fast
 race-fast:
-	$(GO) test -race ./internal/rpc/... ./internal/core/... ./internal/cluster/... ./internal/apportion/...
+	$(GO) test -race ./internal/rpc/... ./internal/core/... ./internal/cluster/... ./internal/apportion/... ./internal/decstore/...
 
 check: tier1 vet lint race
 

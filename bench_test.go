@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"hetmp/internal/experiments"
+	"hetmp/internal/interconnect"
 )
 
 // benchSuite builds a fresh suite per benchmark (experiments cache
@@ -179,6 +180,45 @@ func BenchmarkProbeOverhead(b *testing.B) {
 		for _, r := range rows {
 			b.ReportMetric(r.Overhead*100, r.Benchmark+"-pct")
 		}
+	}
+}
+
+// BenchmarkProbeFreeFastPath measures the persistent decision store:
+// a cold blackscholes run under HetProbe (probing as usual, then
+// saving its decision), followed by a warm run through a fresh suite
+// that reopens the store. The warm run must perform ZERO probing
+// periods — warm-probes is pinned to 0 by the committed baseline —
+// and reproduce the cold decision bit for bit (warm-decision-match 1).
+// The probe-overhead metric is the virtual time the warm run saved.
+func BenchmarkProbeFreeFastPath(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		dir := b.TempDir()
+		cold := benchSuite()
+		cold.DecisionStore = dir
+		resCold, err := cold.Run("blackscholes", experiments.CfgHetProbe, interconnect.RDMA56())
+		if err != nil {
+			b.Fatal(err)
+		}
+		warm := benchSuite()
+		warm.DecisionStore = dir
+		resWarm, err := warm.Run("blackscholes", experiments.CfgHetProbe, interconnect.RDMA56())
+		if err != nil {
+			b.Fatal(err)
+		}
+		match := 1.0
+		if len(resWarm.Decisions) != len(resCold.Decisions) {
+			match = 0
+		}
+		for id, d := range resCold.Decisions {
+			if w, ok := resWarm.Decisions[id]; !ok || w.String() != d.String() {
+				match = 0
+			}
+		}
+		b.ReportMetric(float64(resCold.Probes), "cold-probes")
+		b.ReportMetric(float64(resWarm.Probes), "warm-probes")
+		b.ReportMetric(float64(resWarm.Predictions), "warm-predictions")
+		b.ReportMetric(match, "warm-decision-match")
+		b.ReportMetric(resCold.Time.Seconds()-resWarm.Time.Seconds(), "probe-overhead-saved-s")
 	}
 }
 

@@ -49,6 +49,9 @@ func main() {
 		chaosProfile = flag.String("chaos-profile", "", "inject a named degradation profile: "+strings.Join(chaos.Profiles(), " | ")+" (enables HetProbe re-decision)")
 		chaosSeed    = flag.Int64("chaos-seed", 1, "seed for the chaos schedule; same seed = same degradation, bit for bit")
 
+		decisionStore = flag.String("decision-store", "", "directory of persistent HetProbe decision stores: seed decisions from prior runs (skipping the probing period) and save learned ones back")
+		minConfidence = flag.Float64("predictor-min-confidence", 0, "minimum confidence to adopt a stored decision without probing (0 = default 0.5)")
+
 		rpcAddrs    = flag.String("rpc", "", "comma-separated worker addresses: run -task over real RPC workers instead of the simulator")
 		task        = flag.String("task", "blackscholes", "registered task name for -rpc mode")
 		n           = flag.Int("n", 1_000_000, "iteration count for -rpc mode")
@@ -74,7 +77,7 @@ func main() {
 		if *rpcAddrs != "" {
 			err = runRPC(*rpcAddrs, *task, *n, *arg, *probe, *callTimeout, *retries, *redial, tel)
 		} else {
-			err = run(*bench, *config, *protocol, *scale, *quick, *chaosProfile, *chaosSeed, *batch, tel)
+			err = run(*bench, *config, *protocol, *scale, *quick, *chaosProfile, *chaosSeed, *batch, *decisionStore, *minConfidence, tel)
 		}
 		if perr := stop(); err == nil {
 			err = perr
@@ -172,7 +175,7 @@ func printWorkerStats(stats []rpc.WorkerStats) {
 	}
 }
 
-func run(bench, config, protocol string, scale float64, quick bool, chaosProfile string, chaosSeed int64, batch bool, tel *telemetry.Telemetry) error {
+func run(bench, config, protocol string, scale float64, quick bool, chaosProfile string, chaosSeed int64, batch bool, decisionStore string, minConfidence float64, tel *telemetry.Telemetry) error {
 	s := experiments.Default()
 	if quick {
 		s = experiments.Quick()
@@ -184,6 +187,8 @@ func run(bench, config, protocol string, scale float64, quick bool, chaosProfile
 	s.ChaosProfile = chaosProfile
 	s.ChaosSeed = chaosSeed
 	s.BatchFaults = batch
+	s.DecisionStore = decisionStore
+	s.PredictorMinConfidence = minConfidence
 	proto := interconnect.RDMA56()
 	if protocol == "tcpip" {
 		proto = interconnect.TCPIP()
@@ -197,6 +202,10 @@ func run(bench, config, protocol string, scale float64, quick bool, chaosProfile
 	if chaosProfile != "" {
 		fmt.Printf("  chaos %s (seed %d): %d mid-region re-decision(s)\n",
 			chaosProfile, chaosSeed, res.ReDecisions)
+	}
+	if decisionStore != "" {
+		fmt.Printf("  decision store: %d probing period(s), %d prediction(s)\n",
+			res.Probes, res.Predictions)
 	}
 	if len(res.Decisions) > 0 {
 		ids := make([]string, 0, len(res.Decisions))

@@ -55,6 +55,11 @@ type (
 	Schedule = core.Schedule
 	// CalibrationPoint is one sample of the interconnect microbenchmark.
 	CalibrationPoint = core.CalibrationPoint
+	// DecisionStore persists HetProbe decisions across runs (see
+	// internal/decstore for the on-disk implementation). Assign one to
+	// Options.DecisionStore to skip the probing period for regions the
+	// store already knows.
+	DecisionStore = core.DecisionStore
 )
 
 // Cluster/platform types.

@@ -57,11 +57,24 @@ func (a *App) runHetProbe(regionID string, n int, spec HetProbeSpec, body Body, 
 	ent := rt.cache.entry(regionID)
 	allNodes := rt.allNodes()
 
+	// Probe-free fast path: on a region's first invocation, a
+	// configured decision store may seed the entry with a stored,
+	// confidence-matched decision, making it mature without probing.
+	rt.tryPredict(a.env, regionID, ent, n)
+
 	// Mature cache entry: reuse the decision for the whole region, no
 	// probing (Section 3.1's probe cache).
 	if ent.invocations >= rt.opts.ProbeMaxInvocations {
 		rt.logf("hetprobe %s: cached decision %s", regionID, ent.decision)
-		a.executeDecision(ent.decision, spec, 0, n, body, red)
+		if rt.opts.ReDecide && ent.predicted {
+			// A predicted decision was never validated by this run's
+			// own probes: keep the ReDecide monitor on it so a
+			// misprediction (or a platform that drifted since the
+			// store was written) is caught mid-region.
+			a.monitorRemainder(regionID, ent, spec, 0, n, body, red)
+		} else {
+			a.executeDecision(ent.decision, spec, 0, n, body, red)
+		}
 		return
 	}
 
@@ -84,10 +97,7 @@ func (a *App) runHetProbe(regionID string, n int, spec HetProbeSpec, body Body, 
 
 	rotate := 0
 	if rt.opts.RandomProbe {
-		// Rotate by about half the team so a large share of probe
-		// chunks change nodes every invocation — maximal churn, the
-		// behaviour deterministic assignment avoids.
-		rotate = (ent.invocations + 1) * (fullTeam.total/2 + 1)
+		rotate = probeRotation(ent.invocations, fullTeam.total)
 	}
 	probeDesc := &regionRun{
 		n:       probeIters,
@@ -111,9 +121,19 @@ func (a *App) runHetProbe(regionID string, n int, spec HetProbeSpec, body Body, 
 	stats, rejected := summarizeMeasurements(probeDesc.results)
 	rt.rejectCtr.Add(int64(rejected))
 	ent.update(stats, rt.opts.EWMAAlpha)
+	// Anchor for the post-region miss-metric refinement: the entry's
+	// metric from before this probe's update. Captured here because a
+	// ReDecide re-probe window can call update again mid-region,
+	// shifting prevMissPerK to a value that already contains this
+	// probe window's misses.
+	missAnchor := ent.prevMissPerK
 	ent.cumTime += stats.windowTime
+	ent.featN = n
+	ent.featInstr += stats.instr
+	ent.featAccesses += stats.accesses
 	ent.decision = rt.decide(ent, spec)
 	ent.invocations++
+	rt.probes++
 	rt.logf("hetprobe %s: invocation %d: %s", regionID, ent.invocations, ent.decision)
 	if tr := rt.tracer; tr != nil {
 		tr.Emit(workerTrack(a.env.Node(), -1), "probe "+regionID, probeStart, a.env.Now(),
@@ -147,7 +167,7 @@ func (a *App) runHetProbe(regionID string, n int, spec HetProbeSpec, body Body, 
 		}
 		if instr > 0 {
 			combined := float64(misses+stats.misses) / float64(instr+stats.instr) * 1000
-			ent.replaceMissPerK(combined, rt.opts.EWMAAlpha)
+			ent.replaceMissPerK(combined, rt.opts.EWMAAlpha, missAnchor)
 			// Re-derive the decision from the refined metric so the
 			// next invocation (and the cached decision) see it.
 			ent.decision = rt.decide(ent, spec)
@@ -202,6 +222,38 @@ func (rt *Runtime) recordDecision(e cluster.Env, regionID string, d Decision) {
 		telemetry.Arg{Key: "detail", Val: d.String()})
 }
 
+// probeRotation returns the RandomProbe slot rotation for one probe
+// invocation: rotate by about half the team so a large share of probe
+// chunks change nodes every invocation — maximal churn, the behaviour
+// deterministic assignment avoids.
+func probeRotation(invocations, total int) int {
+	if total <= 1 {
+		return 0
+	}
+	return (invocations + 1) * rotationStep(total) % total
+}
+
+// rotationStep is the per-invocation rotation stride: the smallest
+// step ≥ total/2+1 that is coprime with the team size. Coprimality
+// matters — a step sharing a factor with total cycles slots through
+// only a subgroup of positions, and for total == 2 the naive
+// total/2+1 == 2 stride is ≡ 0 mod 2, leaving the assignment fixed
+// and silently disabling the settling ablation.
+func rotationStep(total int) int {
+	step := total/2 + 1
+	for gcd(step, total) != 1 {
+		step++
+	}
+	return step
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
 func clampFraction(f float64) int {
 	pct := int(f * 100)
 	if pct < 1 {
@@ -220,6 +272,7 @@ type probeStats struct {
 	missPerK    float64
 	instr       int64
 	misses      int64
+	accesses    int64
 	windowTime  time.Duration
 }
 
@@ -236,7 +289,7 @@ func summarizeMeasurements(results []measurement) (probeStats, int) {
 	rejected := 0
 	perNode := make(map[int]agg)
 	var totalElapsed time.Duration
-	var totalFaults, totalInstr, totalMisses int64
+	var totalFaults, totalInstr, totalMisses, totalAccesses int64
 	for _, m := range results {
 		switch {
 		case m.iters < 0 || m.elapsed < 0 || (m.iters > 0 && m.elapsed == 0):
@@ -260,6 +313,7 @@ func summarizeMeasurements(results []measurement) (probeStats, int) {
 		totalFaults += m.delta.RemoteFaults
 		totalInstr += m.delta.Instructions
 		totalMisses += m.delta.LLCMisses
+		totalAccesses += m.delta.LLCAccesses
 	}
 	stats := probeStats{perIter: make(map[int]time.Duration, len(perNode))}
 	for node, a := range perNode {
@@ -277,6 +331,7 @@ func summarizeMeasurements(results []measurement) (probeStats, int) {
 	}
 	stats.instr = totalInstr
 	stats.misses = totalMisses
+	stats.accesses = totalAccesses
 	stats.windowTime = totalElapsed
 	return stats, rejected
 }

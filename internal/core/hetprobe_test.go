@@ -350,3 +350,57 @@ func TestDecisionString(t *testing.T) {
 		t.Error("empty single-node decision string")
 	}
 }
+
+// TestProbeRotationCoprime pins the RandomProbe stride: it must be
+// coprime with the team size so rotation cycles every slot through
+// every position. The regression case is total == 2, where the naive
+// total/2+1 stride is ≡ 0 mod 2 — every invocation rotated by zero,
+// silently turning the settling ablation into deterministic
+// assignment.
+func TestProbeRotationCoprime(t *testing.T) {
+	for total := 2; total <= 33; total++ {
+		step := rotationStep(total)
+		if gcd(step, total) != 1 {
+			t.Errorf("rotationStep(%d) = %d shares a factor with the team size", total, step)
+		}
+		if step < total/2+1 {
+			t.Errorf("rotationStep(%d) = %d below the half-team stride", total, step)
+		}
+	}
+	rotated := false
+	for inv := 0; inv < 4; inv++ {
+		if probeRotation(inv, 2) != 0 {
+			rotated = true
+		}
+	}
+	if !rotated {
+		t.Error("2-thread team never rotates under RandomProbe")
+	}
+	if probeRotation(3, 1) != 0 {
+		t.Error("singleton team must not rotate")
+	}
+}
+
+// TestDecisionCSRSlowestNodeIsOne pins the documented CSR invariant:
+// cross-node weights are normalized so the slowest enabled node has
+// weight exactly 1 (the paper's "X : 1" form), not the fastest.
+func TestDecisionCSRSlowestNodeIsOne(t *testing.T) {
+	rt := newSimRuntime(t, Options{})
+	ent := &probeEntry{
+		faultPeriod: infinitePeriod, // no faults: every node passes Q1
+		perIter: map[int]time.Duration{
+			0: 100 * time.Nanosecond,
+			1: 250 * time.Nanosecond,
+		},
+	}
+	d := rt.decideWith(ent, HetProbeSpec{ForceNode: -1}, nil)
+	if !d.CrossNode {
+		t.Fatalf("fault-free region should go cross-node, got %+v", d)
+	}
+	if d.CSR[1] != 1 {
+		t.Fatalf("slowest enabled node weight = %v, want exactly 1", d.CSR[1])
+	}
+	if d.CSR[0] < 2.49 || d.CSR[0] > 2.51 {
+		t.Fatalf("fast node weight = %v, want 2.5", d.CSR[0])
+	}
+}

@@ -102,7 +102,10 @@ func (a *App) monitorRemainder(regionID string, ent *probeEntry, spec HetProbeSp
 				rt.logf("hetprobe %s: window %d/%d re-probe kept the decision", regionID, w+1, windows)
 			}
 			ent.decision = newDec
-		} else if len(breached) > 0 && ent.decision.CrossNode && rounds < rt.opts.MaxReDecisions {
+		} else if len(breached) > 0 && ent.decision.CrossNode && w+1 < windows && rounds < rt.opts.MaxReDecisions {
+			// w+1 < windows: a re-probe is the NEXT window's dispatch
+			// mode, so scheduling one on the final window would count a
+			// re-probe that never runs and leave the breach unhandled.
 			rounds++
 			pendingReprobe = true
 			rt.reprobeCtr.Inc()

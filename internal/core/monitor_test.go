@@ -8,6 +8,7 @@ import (
 	"hetmp/internal/cluster"
 	"hetmp/internal/interconnect"
 	"hetmp/internal/perf"
+	"hetmp/internal/telemetry"
 )
 
 // newChaosRuntime is newSimRuntime with a degradation injector
@@ -119,6 +120,59 @@ func TestReDecideFallsBackUnderLinkDegradation(t *testing.T) {
 	}
 	if d.CrossNode || d.Node != 0 {
 		t.Fatalf("re-decision should fall back to the origin node, got %+v", d)
+	}
+}
+
+// TestMonitorFinalWindowDoesNotScheduleReprobe is the regression test
+// for the last-window accounting bug: a breach detected on the final
+// window used to set pendingReprobe — incrementing
+// hetmp_hetprobe_reprobes_total for a re-probe that no later window
+// could ever dispatch. A breach with no window remaining must not be
+// counted as a scheduled re-probe.
+func TestMonitorFinalWindowDoesNotScheduleReprobe(t *testing.T) {
+	const n = 1600
+	want := n * (n - 1) / 2
+
+	// Healthy pass to learn the run's virtual duration.
+	_, _, elapsed := runMonitored(t, nil, n)
+
+	// Degrade the link a quarter in, with a single monitor window: the
+	// breach can only ever be observed on the final (= only) window.
+	inj := chaos.New(chaos.Profile{
+		Name: "test-degrade-final",
+		Links: []chaos.LinkEvent{{
+			Start:           elapsed / 4,
+			LatencyFactor:   300,
+			BandwidthFactor: 300,
+		}},
+	}, 1)
+	tel := telemetry.New(telemetry.Options{})
+	rt, _ := newChaosRuntime(t, Options{
+		ReDecide:             true,
+		FaultPeriodThreshold: time.Nanosecond,
+		MonitorWindows:       1,
+		Telemetry:            tel,
+	}, inj)
+	var got int
+	err := rt.Run(func(a *App) {
+		r := a.Alloc("shared", 64*page)
+		got = a.ParallelReduce("chaotic", n, HetProbeSchedule(),
+			func() any { return 0 },
+			pingPongBody(r, 64, 400_000),
+			func(x, y any) any { return x.(int) + y.(int) },
+		).(int)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("degraded run reduced to %d, want %d", got, want)
+	}
+	if v := rt.reprobeCtr.Value(); v != 0 {
+		t.Fatalf("final-window breach scheduled %d re-probe(s) that can never dispatch", v)
+	}
+	if rt.ReDecisions() != 0 {
+		t.Fatalf("single-window run performed %d re-decisions", rt.ReDecisions())
 	}
 }
 

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"hetmp/internal/cluster"
+	"hetmp/internal/decstore"
+)
+
+// This file implements the probe-free fast path: a predictor that
+// seeds HetProbe decisions from a persistent store instead of paying
+// the probing period. The probing period is pure overhead on every
+// fresh region of every run; decisions measured by an earlier run on
+// the same cluster configuration (the store is fingerprint-bound, see
+// internal/decstore) can be adopted directly when the region's
+// features match what was stored. Mispredictions are not fatal: a
+// seeded decision runs under the ReDecide monitor (when enabled), and
+// a low-confidence match simply falls back to probing.
+
+// DecisionStore is the persistence interface the runtime consults for
+// stored decisions and writes learned ones back through. It is
+// satisfied by *decstore.Store; keeping it an interface lets tests
+// substitute in-memory stores and keeps open/save policy (paths,
+// fingerprints, when to persist) out of the runtime.
+type DecisionStore interface {
+	// Lookup returns the stored entry for a region key.
+	Lookup(key string) (decstore.Entry, bool)
+	// Put records the entry for a region key. Persisting the store is
+	// the caller's responsibility, after Runtime.Run returns.
+	Put(key string, e decstore.Entry)
+}
+
+// tryPredict consults the decision store on a region's first
+// invocation and, when a stored entry matches with sufficient
+// confidence, seeds the probe entry with its decision — mature, so no
+// probing happens. Reports whether the entry was seeded.
+func (rt *Runtime) tryPredict(e cluster.Env, regionID string, ent *probeEntry, n int) bool {
+	store := rt.opts.DecisionStore
+	if store == nil || ent.invocations > 0 || ent.storeChecked {
+		return false
+	}
+	ent.storeChecked = true
+	se, ok := store.Lookup(regionID)
+	if !ok {
+		return false
+	}
+	conf := predictionConfidence(se, n, rt.opts.ProbeMaxInvocations)
+	if conf < rt.opts.PredictorMinConfidence {
+		rt.logf("hetprobe %s: stored decision confidence %.2f below %.2f, probing",
+			regionID, conf, rt.opts.PredictorMinConfidence)
+		return false
+	}
+	seedEntry(ent, se, rt.opts.ProbeMaxInvocations)
+	rt.predictions++
+	rt.logf("hetprobe %s: predicted decision from store (confidence %.2f): %s",
+		regionID, conf, ent.decision)
+	if rt.tracer != nil {
+		rt.opts.Telemetry.Metrics().Counter("hetmp_hetprobe_predictions_total").Inc()
+		rt.recordDecision(e, regionID, ent.decision)
+	}
+	return true
+}
+
+// predictionConfidence scores how much a stored entry should be
+// trusted for a fresh invocation of n iterations: the entry's maturity
+// (how many probed invocations it accumulated, relative to the probe
+// budget — square-rooted so even a few invocations carry weight)
+// scaled by the similarity of the iteration counts, the one feature
+// known before execution. A region invoked at a very different size
+// has a different footprint and sharing pattern, so its stored
+// decision may not transfer; the size ratio drives confidence below
+// the adoption threshold and the region is probed afresh.
+func predictionConfidence(se decstore.Entry, n, maxInvocations int) float64 {
+	if maxInvocations < 1 {
+		maxInvocations = 1
+	}
+	inv := float64(se.Invocations) / float64(maxInvocations)
+	if inv > 1 {
+		inv = 1
+	}
+	maturity := math.Sqrt(inv)
+	size := 0.0
+	switch {
+	case se.Features.Iterations == n:
+		size = 1
+	case se.Features.Iterations > 0 && n > 0:
+		size = float64(n) / float64(se.Features.Iterations)
+		if size > 1 {
+			size = 1 / size
+		}
+	}
+	return maturity * size
+}
+
+// seedEntry loads a stored entry into the live probe cache as a
+// mature entry carrying the stored decision verbatim — the warm run
+// reproduces the cold run's decision exactly, including persisted
+// ReDecide suspects, which stay excluded from any re-decision.
+func seedEntry(ent *probeEntry, se decstore.Entry, maxInvocations int) {
+	ent.perIter = make(map[int]time.Duration, len(se.PerIterNs))
+	for node, ns := range se.PerIterNs {
+		ent.perIter[node] = time.Duration(ns)
+	}
+	ent.faultPeriod = time.Duration(se.FaultPeriodNs)
+	ent.missPerK = se.MissesPerKinst
+	ent.prevMissPerK = -1
+	ent.cumTime = time.Duration(se.CumTimeNs)
+	if len(se.Suspects) > 0 {
+		ent.suspects = make(map[int]bool, len(se.Suspects))
+		for _, node := range se.Suspects {
+			ent.suspects[node] = true
+		}
+	}
+	ent.decision = decisionFromEntry(se)
+	// Mature: the mature-cache branch reuses the decision without
+	// probing, and a later export round-trips the same maturity.
+	ent.invocations = maxInvocations
+	ent.predicted = true
+	ent.featN = se.Features.Iterations
+	ent.featAccesses = se.Features.BytesTouched / cacheLineBytes
+	ent.featInstr = int64(math.Round(se.Features.OpsPerByte * float64(se.Features.BytesTouched)))
+}
+
+// decisionFromEntry reconstructs the Decision a stored entry carries.
+func decisionFromEntry(se decstore.Entry) Decision {
+	d := Decision{
+		CrossNode:      se.CrossNode,
+		Node:           se.Node,
+		FaultPeriod:    time.Duration(se.FaultPeriodNs),
+		MissesPerKinst: se.MissesPerKinst,
+		CumTime:        time.Duration(se.CumTimeNs),
+	}
+	if len(se.Nodes) > 0 {
+		d.Nodes = append([]int(nil), se.Nodes...)
+	}
+	if len(se.CSR) > 0 {
+		d.CSR = make(map[int]float64, len(se.CSR))
+		for node, w := range se.CSR {
+			d.CSR[node] = w
+		}
+	}
+	if len(se.PerIterNs) > 0 {
+		d.PerIterTime = make(map[int]time.Duration, len(se.PerIterNs))
+		for node, ns := range se.PerIterNs {
+			d.PerIterTime[node] = time.Duration(ns)
+		}
+	}
+	return d
+}
+
+// cacheLineBytes converts between LLC access counts and the bytes
+// they touch (all modelled caches use 64-byte lines, machine.CacheSpec
+// LineBytes).
+const cacheLineBytes = 64
+
+// entryToStore renders a live probe entry as a storable one.
+func entryToStore(ent *probeEntry) decstore.Entry {
+	d := ent.decision
+	se := decstore.Entry{
+		CrossNode:      d.CrossNode,
+		Node:           d.Node,
+		FaultPeriodNs:  int64(ent.faultPeriod),
+		MissesPerKinst: ent.missPerK,
+		CumTimeNs:      int64(ent.cumTime),
+		Invocations:    ent.invocations,
+	}
+	if len(d.Nodes) > 0 {
+		se.Nodes = append([]int(nil), d.Nodes...)
+	}
+	if len(d.CSR) > 0 {
+		se.CSR = make(map[int]float64, len(d.CSR))
+		for node, w := range d.CSR {
+			se.CSR[node] = w
+		}
+	}
+	if len(ent.perIter) > 0 {
+		se.PerIterNs = make(map[int]int64, len(ent.perIter))
+		for node, t := range ent.perIter {
+			se.PerIterNs[node] = int64(t)
+		}
+	}
+	if len(ent.suspects) > 0 {
+		se.Suspects = sortedNodes(ent.suspects)
+	}
+	bytes := ent.featAccesses * cacheLineBytes
+	se.Features = decstore.Features{
+		Iterations:     ent.featN,
+		BytesTouched:   bytes,
+		MissesPerKinst: ent.missPerK,
+	}
+	if bytes > 0 {
+		se.Features.OpsPerByte = float64(ent.featInstr) / float64(bytes)
+	}
+	return se
+}
+
+// exportDecisions writes every region with a usable decision — probed
+// this run or seeded from the store — back through the decision store.
+// Called at the end of Runtime.Run; persisting the store afterwards is
+// the caller's job. Keys are walked in sorted order so the store's
+// Put sequence (and any log it produces) is deterministic.
+func (rt *Runtime) exportDecisions() {
+	store := rt.opts.DecisionStore
+	if store == nil {
+		return
+	}
+	keys := make([]string, 0, len(rt.cache.entries))
+	for id := range rt.cache.entries {
+		keys = append(keys, id)
+	}
+	sort.Strings(keys)
+	for _, id := range keys {
+		ent := rt.cache.entries[id]
+		if ent.invocations == 0 {
+			continue
+		}
+		store.Put(id, entryToStore(ent))
+	}
+}

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hetmp/internal/chaos"
+	"hetmp/internal/decstore"
+)
+
+// memStore is an in-memory DecisionStore for tests.
+type memStore struct{ m map[string]decstore.Entry }
+
+func newMemStore() *memStore { return &memStore{m: map[string]decstore.Entry{}} }
+
+func (s *memStore) Lookup(key string) (decstore.Entry, bool) {
+	e, ok := s.m[key]
+	return e, ok
+}
+func (s *memStore) Put(key string, e decstore.Entry) { s.m[key] = e }
+
+// runPingPong executes reps invocations of a cross-node-profitable
+// ping-pong region and returns the runtime plus the run's observable
+// outcomes: reduction result, virtual elapsed time and DSM faults.
+func runPingPong(t *testing.T, opts Options, inj *chaos.Injector, n, reps int) (*Runtime, int, time.Duration, int64) {
+	t.Helper()
+	if opts.FaultPeriodThreshold == 0 {
+		opts.FaultPeriodThreshold = time.Nanosecond
+	}
+	rt, cl := newChaosRuntime(t, opts, inj)
+	var got int
+	err := rt.Run(func(a *App) {
+		r := a.Alloc("shared", 64*page)
+		for i := 0; i < reps; i++ {
+			got = a.ParallelReduce("warm", n, HetProbeSchedule(),
+				func() any { return 0 },
+				pingPongBody(r, 64, 400_000),
+				func(x, y any) any { return x.(int) + y.(int) },
+			).(int)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt, got, cl.Elapsed(), cl.DSMFaults()
+}
+
+// TestDecisionStoreAbsentEquivalence is the golden/equivalence pin:
+// a run with no store configured and a run with an empty store are
+// observationally identical — same virtual time, same fault count,
+// same result, same decision. The fast path must cost nothing when it
+// has nothing to predict from.
+func TestDecisionStoreAbsentEquivalence(t *testing.T) {
+	const n, reps = 1600, 3
+	rtNil, gotNil, eNil, fNil := runPingPong(t, Options{}, nil, n, reps)
+	store := newMemStore()
+	rtEmpty, gotEmpty, eEmpty, fEmpty := runPingPong(t, Options{DecisionStore: store}, nil, n, reps)
+	if eNil != eEmpty || fNil != fEmpty || gotNil != gotEmpty {
+		t.Fatalf("empty store changed the run: elapsed %v vs %v, faults %d vs %d, result %d vs %d",
+			eNil, eEmpty, fNil, fEmpty, gotNil, gotEmpty)
+	}
+	dNil, _ := rtNil.Decision("warm")
+	dEmpty, _ := rtEmpty.Decision("warm")
+	if dNil.String() != dEmpty.String() {
+		t.Fatalf("decisions diverged: %s vs %s", dNil, dEmpty)
+	}
+	if rtEmpty.Predictions() != 0 {
+		t.Fatalf("empty store produced %d predictions", rtEmpty.Predictions())
+	}
+	if rtNil.Probes() != reps || rtEmpty.Probes() != reps {
+		t.Fatalf("probe counts %d / %d, want %d each", rtNil.Probes(), rtEmpty.Probes(), reps)
+	}
+	// The cold run exported its learned decision for the next run.
+	if len(store.m) != 1 {
+		t.Fatalf("store holds %d entries after the run, want 1", len(store.m))
+	}
+}
+
+// TestWarmRunSkipsProbesAndReproducesDecision is the acceptance pin
+// for the tentpole: a warm repeat run — through a real on-disk store,
+// saved and reopened — performs zero probes and reproduces the cold
+// run's decision exactly.
+func TestWarmRunSkipsProbesAndReproducesDecision(t *testing.T) {
+	const n = 1600
+	// Enough repetitions to mature the entry (ProbeMaxInvocations=10),
+	// so the stored decision carries full predictor confidence.
+	const reps = 12
+	path := filepath.Join(t.TempDir(), "store.json")
+	const fp = "testcluster"
+
+	cold := decstore.Open(path, fp)
+	rtCold, gotCold, _, _ := runPingPong(t, Options{DecisionStore: cold}, nil, n, reps)
+	if rtCold.Probes() == 0 {
+		t.Fatal("cold run performed no probes")
+	}
+	dCold, ok := rtCold.Decision("warm")
+	if !ok {
+		t.Fatal("cold run recorded no decision")
+	}
+	if err := cold.Save(); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+
+	warm := decstore.Open(path, fp)
+	if warm.Len() != 1 {
+		t.Fatalf("reopened store holds %d entries, want 1", warm.Len())
+	}
+	rtWarm, gotWarm, _, _ := runPingPong(t, Options{DecisionStore: warm}, nil, n, reps)
+	if p := rtWarm.Probes(); p != 0 {
+		t.Fatalf("warm run performed %d probes, want 0", p)
+	}
+	if rtWarm.Predictions() != 1 {
+		t.Fatalf("warm run made %d predictions, want 1", rtWarm.Predictions())
+	}
+	dWarm, ok := rtWarm.Decision("warm")
+	if !ok {
+		t.Fatal("warm run has no decision")
+	}
+	if dWarm.String() != dCold.String() {
+		t.Fatalf("warm decision %s does not reproduce cold %s", dWarm, dCold)
+	}
+	if gotWarm != gotCold {
+		t.Fatalf("warm result %d differs from cold %d", gotWarm, gotCold)
+	}
+}
+
+// TestLowConfidencePredictionFallsBackToProbing: a stored decision
+// for a 10×-larger region must not be adopted — the size mismatch
+// drives confidence below the threshold and the region is probed.
+func TestLowConfidencePredictionFallsBackToProbing(t *testing.T) {
+	store := newMemStore()
+	_, _, _, _ = runPingPong(t, Options{DecisionStore: store}, nil, 3200, 12)
+	rt, _, _, _ := runPingPong(t, Options{DecisionStore: store}, nil, 320, 1)
+	if rt.Predictions() != 0 {
+		t.Fatalf("size-mismatched entry was adopted (%d predictions)", rt.Predictions())
+	}
+	if rt.Probes() == 0 {
+		t.Fatal("low-confidence fallback did not probe")
+	}
+}
+
+// TestPredictedDecisionGuardedByReDecide: a predicted decision that
+// turns out wrong (the link degraded since the store was written) is
+// caught by the ReDecide monitor mid-region, falls back to the
+// origin node, and persists the condemned suspect back to the store.
+func TestPredictedDecisionGuardedByReDecide(t *testing.T) {
+	const n, reps = 1600, 12
+	store := newMemStore()
+	_, _, coldElapsed, _ := runPingPong(t, Options{DecisionStore: store, ReDecide: true}, nil, n, reps)
+
+	// Degrade the link from early on: the stored cross-node decision
+	// is now a misprediction.
+	inj := chaos.New(chaos.Profile{
+		Name: "degraded-since-store",
+		Links: []chaos.LinkEvent{{
+			Start:           coldElapsed / 100,
+			LatencyFactor:   300,
+			BandwidthFactor: 300,
+		}},
+	}, 1)
+	rt, got, _, _ := runPingPong(t, Options{DecisionStore: store, ReDecide: true}, inj, n, 1)
+	if want := n * (n - 1) / 2; got != want {
+		t.Fatalf("degraded warm run reduced to %d, want %d", got, want)
+	}
+	if rt.Predictions() != 1 {
+		t.Fatalf("predictions = %d, want 1 (the misprediction must still be adopted first)", rt.Predictions())
+	}
+	if rt.Probes() != 0 {
+		t.Fatalf("warm run performed %d probing periods", rt.Probes())
+	}
+	if rt.ReDecisions() < 1 {
+		t.Fatal("ReDecide monitor did not catch the misprediction")
+	}
+	d, _ := rt.Decision("warm")
+	if d.CrossNode || d.Node != 0 {
+		t.Fatalf("misprediction should collapse to the origin node, got %+v", d)
+	}
+	// The condemned suspect must persist into the store for future runs.
+	se, ok := store.Lookup("warm")
+	if !ok {
+		t.Fatal("store lost the region entry")
+	}
+	if len(se.Suspects) != 1 || se.Suspects[0] != 1 {
+		t.Fatalf("persisted suspects = %v, want [1]", se.Suspects)
+	}
+}
+
+// TestPredictionConfidence pins the score: maturity (sqrt of the
+// invocation fill) × iteration-count similarity.
+func TestPredictionConfidence(t *testing.T) {
+	se := decstore.Entry{Invocations: 10, Features: decstore.Features{Iterations: 1000}}
+	if got := predictionConfidence(se, 1000, 10); got != 1 {
+		t.Errorf("full-maturity same-size confidence = %v, want 1", got)
+	}
+	if got := predictionConfidence(se, 100, 10); got != 0.1 {
+		t.Errorf("10×-smaller confidence = %v, want 0.1", got)
+	}
+	if got := predictionConfidence(se, 10000, 10); got != 0.1 {
+		t.Errorf("10×-larger confidence = %v, want 0.1", got)
+	}
+	se.Invocations = 1
+	conf := predictionConfidence(se, 1000, 10)
+	if conf < 0.31 || conf > 0.32 {
+		t.Errorf("single-invocation confidence = %v, want ≈0.316", conf)
+	}
+	se.Invocations = 40 // over-mature entries cap at 1
+	if got := predictionConfidence(se, 1000, 10); got != 1 {
+		t.Errorf("over-mature confidence = %v, want 1", got)
+	}
+}
+
+// TestEntryToStoreRoundTrip: exporting a live entry and seeding a
+// fresh one from it reproduces the decision and the probe state.
+func TestEntryToStoreRoundTrip(t *testing.T) {
+	ent := &probeEntry{
+		invocations:  7,
+		perIter:      map[int]time.Duration{0: 120 * time.Nanosecond, 1: 300 * time.Nanosecond},
+		faultPeriod:  infinitePeriod,
+		missPerK:     2.5,
+		cumTime:      9 * time.Millisecond,
+		suspects:     map[int]bool{1: true},
+		featN:        1600,
+		featInstr:    640_000,
+		featAccesses: 1000,
+		decision: Decision{
+			CrossNode:      true,
+			Nodes:          []int{0, 1},
+			CSR:            map[int]float64{0: 2.5, 1: 1},
+			FaultPeriod:    infinitePeriod,
+			MissesPerKinst: 2.5,
+			PerIterTime:    map[int]time.Duration{0: 120 * time.Nanosecond, 1: 300 * time.Nanosecond},
+		},
+	}
+	se := entryToStore(ent)
+	if se.FaultPeriodNs != int64(infinitePeriod) {
+		t.Errorf("sentinel fault period not preserved: %d", se.FaultPeriodNs)
+	}
+	if se.Features.Iterations != 1600 || se.Features.BytesTouched != 64_000 {
+		t.Errorf("features = %+v", se.Features)
+	}
+	if se.Features.OpsPerByte != 10 {
+		t.Errorf("ops/byte = %v, want 10", se.Features.OpsPerByte)
+	}
+
+	seeded := &probeEntry{}
+	seedEntry(seeded, se, 10)
+	if seeded.invocations != 10 || !seeded.predicted {
+		t.Errorf("seeded entry not mature/predicted: %+v", seeded)
+	}
+	if seeded.faultPeriod != infinitePeriod {
+		t.Errorf("seeded fault period %v", seeded.faultPeriod)
+	}
+	if !seeded.suspects[1] {
+		t.Error("suspects lost in round trip")
+	}
+	if seeded.featN != 1600 || seeded.featAccesses != 1000 || seeded.featInstr != 640_000 {
+		t.Errorf("features lost: n=%d acc=%d instr=%d", seeded.featN, seeded.featAccesses, seeded.featInstr)
+	}
+	if seeded.decision.String() != ent.decision.String() {
+		t.Errorf("decision %s != %s", seeded.decision, ent.decision)
+	}
+}

@@ -17,6 +17,22 @@ type probeEntry struct {
 	prevMissPerK float64 // value before the last update (-1 on first)
 	cumTime      time.Duration
 	decision     Decision
+	// predicted marks an entry seeded from a persistent decision store
+	// rather than measured by this run's probes. Predicted decisions
+	// run under the ReDecide monitor (when enabled) so a misprediction
+	// is caught mid-region instead of trusted for the whole run.
+	predicted bool
+	// storeChecked records that the decision store has been consulted
+	// for this region (hit or miss), so a miss is not re-queried on
+	// every invocation.
+	storeChecked bool
+	// Region features accumulated by the probing periods, exported to
+	// the decision store for the predictor's confidence match:
+	// iteration count at the last probed invocation, plus cumulative
+	// probe-window instructions and LLC accesses.
+	featN        int
+	featInstr    int64
+	featAccesses int64
 	// suspects are nodes the ReDecide monitor condemned (stragglers,
 	// degraded links). They stay excluded from every later decision
 	// derived from this entry — including the post-region miss-rate
@@ -45,15 +61,21 @@ func (e *probeEntry) update(s probeStats, alpha float64) {
 	e.missPerK = alpha*s.missPerK + (1-alpha)*e.missPerK
 }
 
-// replaceMissPerK substitutes the miss metric folded in by the last
-// update with a refined (region-wide) measurement of the same
-// invocation.
-func (e *probeEntry) replaceMissPerK(v, alpha float64) {
-	if e.prevMissPerK < 0 {
+// replaceMissPerK substitutes the miss metric folded in by an update
+// with a refined (region-wide) measurement of the same invocation,
+// blending it against prev — the entry's metric from *before* that
+// update (a negative prev marks a first invocation: replace outright).
+// The caller supplies prev rather than this reading e.prevMissPerK
+// because ReDecide's mid-region re-probes call update again before the
+// refinement runs; anchoring on the latest update would blend against
+// a value that already contains the probe window's misses, counting
+// them twice.
+func (e *probeEntry) replaceMissPerK(v, alpha, prev float64) {
+	if prev < 0 {
 		e.missPerK = v
 		return
 	}
-	e.missPerK = alpha*v + (1-alpha)*e.prevMissPerK
+	e.missPerK = alpha*v + (1-alpha)*prev
 }
 
 // ewmaDur blends durations, saturating on the "no faults observed"

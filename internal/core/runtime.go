@@ -95,6 +95,23 @@ type Options struct {
 	// MonitorWindows is how many windows the post-decision remainder
 	// is split into when ReDecide is on. Defaults to 8.
 	MonitorWindows int
+	// DecisionStore, when non-nil, backs the probe-free fast path
+	// (ROADMAP item 3): on a region's first invocation the runtime
+	// consults the store for a previously measured decision and, if the
+	// predictor's confidence clears PredictorMinConfidence, seeds the
+	// probe cache with it — mature, so the run performs no probing for
+	// that region. When Run returns, every probed or seeded region is
+	// written back through the store's Put (persisting is the caller's
+	// job). Mispredictions are guarded by ReDecide when enabled. Nil
+	// (the default) leaves behaviour identical to the storeless
+	// runtime. Callers holding a concrete store pointer must take care
+	// not to wrap a nil pointer in this interface.
+	DecisionStore DecisionStore
+	// PredictorMinConfidence is the minimum confidence score (0..1] a
+	// stored decision needs before it is adopted without probing;
+	// lower-confidence matches fall back to the normal probing period.
+	// Defaults to 0.5.
+	PredictorMinConfidence float64
 	// NodeThresholds optionally overrides FaultPeriodThreshold per
 	// node, implementing the paper's Section 5 extension to three or
 	// more nodes: "this break-even point is different for every node
@@ -134,6 +151,9 @@ func (o Options) withDefaults() Options {
 	if o.EWMAAlpha == 0 {
 		o.EWMAAlpha = 0.7
 	}
+	if o.PredictorMinConfidence == 0 {
+		o.PredictorMinConfidence = 0.5
+	}
 	if o.ReDecideFactor == 0 {
 		o.ReDecideFactor = 3
 	}
@@ -165,6 +185,10 @@ type Runtime struct {
 	redecideCtr *telemetry.Counter
 	rejectCtr   *telemetry.Counter
 	reDecisions int
+	// Probe-overhead accounting (always maintained, telemetry or not):
+	// probing periods dispatched and decisions seeded from the store.
+	probes      int
+	predictions int
 }
 
 // New builds a runtime on the given cluster.
@@ -222,6 +246,15 @@ func (rt *Runtime) Cluster() cluster.Cluster { return rt.cl }
 // decision revisions triggered by the ReDecide monitor) the runtime
 // has performed.
 func (rt *Runtime) ReDecisions() int { return rt.reDecisions }
+
+// Probes reports how many probing periods the runtime dispatched — the
+// probe-overhead signal the decision store exists to eliminate (zero
+// on a fully warm run).
+func (rt *Runtime) Probes() int { return rt.probes }
+
+// Predictions reports how many region decisions were seeded from the
+// decision store instead of being probed.
+func (rt *Runtime) Predictions() int { return rt.predictions }
 
 // Decision returns HetProbe's cached decision for a region, if any.
 func (rt *Runtime) Decision(regionID string) (Decision, bool) {
@@ -291,6 +324,7 @@ func (rt *Runtime) Run(app func(*App)) error {
 			for _, key := range keys {
 				rt.teams[key].shutdown(env)
 			}
+			rt.exportDecisions()
 		}()
 		app(a)
 	})
@@ -413,8 +447,10 @@ type Decision struct {
 	// CrossNode reports whether work-sharing across nodes is
 	// profitable.
 	CrossNode bool
-	// CSR maps node → relative core speed (fastest node = 1.0-scaled
-	// weights) when CrossNode is set.
+	// CSR maps node → relative core speed when CrossNode is set,
+	// normalized so the *slowest* enabled node has weight 1 — the
+	// paper's "X : 1" core speed ratio form (e.g. 3.7 : 1 for Xeon
+	// vs ThunderX cores).
 	CSR map[int]float64
 	// Node is the chosen node for single-node execution.
 	Node int

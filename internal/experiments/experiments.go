@@ -17,6 +17,7 @@ import (
 	"hetmp/internal/chaos"
 	"hetmp/internal/cluster"
 	"hetmp/internal/core"
+	"hetmp/internal/decstore"
 	"hetmp/internal/interconnect"
 	"hetmp/internal/kernels"
 	"hetmp/internal/machine"
@@ -70,6 +71,17 @@ type Suite struct {
 	// calibration, so decisions are made against the same substrate
 	// they execute on.
 	BatchFaults bool
+	// DecisionStore, when non-empty, is a directory of persistent
+	// HetProbe decision stores (internal/decstore): every Run opens the
+	// file matching its cluster-configuration fingerprint, seeds
+	// decisions from it (skipping the probing period when the
+	// predictor's confidence clears PredictorMinConfidence) and saves
+	// learned decisions back after the run. Empty (the default) keeps
+	// every run cold, byte-identical to the storeless suite.
+	DecisionStore string
+	// PredictorMinConfidence overrides the runtime's default (0.5)
+	// adoption threshold for stored decisions; zero keeps the default.
+	PredictorMinConfidence float64
 	// Parallel bounds how many experiment runs execute concurrently
 	// (0 or 1 = sequential). Every run owns its own engine, cluster and
 	// kernel, and the virtual-time results are deterministic, so
@@ -253,6 +265,41 @@ type Result struct {
 	// ReDecisions counts mid-region HetProbe decision revisions (only
 	// non-zero when a chaos profile is active).
 	ReDecisions int
+	// Probes counts the probing periods HetProbe dispatched — the
+	// overhead a warm decision store eliminates (zero on a fully warm
+	// run).
+	Probes int
+	// Predictions counts region decisions seeded from the decision
+	// store instead of probed.
+	Predictions int
+}
+
+// openStore returns (opening and caching per fingerprint) the decision
+// store for one run's cluster configuration, or nil when the suite has
+// no store directory. The fingerprint covers everything the stored
+// decisions depend on — node specs, the scaled interconnect protocol,
+// the problem scale and the schedule configuration — and deliberately
+// excludes the simulation seed: transferring decisions across seeds
+// (and across processes) is the point of persisting them. The
+// singleflight cache shares one *Store instance per fingerprint so
+// parallel suite runs merge their decisions instead of racing on the
+// file.
+func (s *Suite) openStore(which, config string, proto interconnect.Spec) (*decstore.Store, error) {
+	if s.DecisionStore == "" {
+		return nil, nil
+	}
+	fp := decstore.Fingerprint(s.platform(which).Nodes,
+		fmt.Sprintf("proto=%+v", proto),
+		fmt.Sprintf("scale=%g", s.Scale),
+		"config="+config,
+	)
+	v, err := s.cache.do("decstore/"+fp, func() (any, error) {
+		return decstore.OpenDir(s.DecisionStore, fp)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*decstore.Store), nil
 }
 
 // dynChunks holds the per-benchmark chunk sizes for the Cross-Node
@@ -323,17 +370,35 @@ func (s *Suite) Run(bench, config string, proto interconnect.Spec) (Result, erro
 	if err != nil {
 		return Result{}, err
 	}
-	rt := core.New(cl, core.Options{
+	store, err := s.openStore(which, config, proto.Scaled(s.TimeScale))
+	if err != nil {
+		return Result{}, fmt.Errorf("%s/%s: %w", bench, config, err)
+	}
+	opts := core.Options{
 		FaultPeriodThreshold: th,
 		ProbeRegionID:        k.ProbeRegion(),
 		Telemetry:            s.Telemetry,
-		ReDecide:             inj != nil,
-	})
+		// A predicted decision must stay guarded even without chaos:
+		// the store may have been written on a platform that drifted.
+		ReDecide: inj != nil || store != nil,
+	}
+	if store != nil {
+		// Guarded assignment: a nil *decstore.Store wrapped in the
+		// interface would read as non-nil to the runtime.
+		opts.DecisionStore = store
+		opts.PredictorMinConfidence = s.PredictorMinConfidence
+	}
+	rt := core.New(cl, opts)
 	if err := rt.Run(func(a *core.App) { k.Run(a, kernels.Fixed(sched)) }); err != nil {
 		return Result{}, fmt.Errorf("%s/%s: %w", bench, config, err)
 	}
 	if s.Verify {
 		if err := k.Verify(); err != nil {
+			return Result{}, fmt.Errorf("%s/%s: %w", bench, config, err)
+		}
+	}
+	if store != nil {
+		if err := store.Save(); err != nil {
 			return Result{}, fmt.Errorf("%s/%s: %w", bench, config, err)
 		}
 	}
@@ -344,6 +409,8 @@ func (s *Suite) Run(bench, config string, proto interconnect.Spec) (Result, erro
 		Faults:      cl.DSMFaults(),
 		Decisions:   rt.Decisions(),
 		ReDecisions: rt.ReDecisions(),
+		Probes:      rt.Probes(),
+		Predictions: rt.Predictions(),
 	}, nil
 }
 
