@@ -28,7 +28,7 @@ race:
 # The packages with real goroutine concurrency, raced quickly.
 .PHONY: race-fast
 race-fast:
-	$(GO) test -race ./internal/rpc/... ./internal/core/... ./internal/cluster/... ./internal/apportion/... ./internal/decstore/...
+	$(GO) test -race ./internal/rpc/... ./internal/core/... ./internal/cluster/... ./internal/apportion/... ./internal/decstore/... ./internal/server/...
 
 check: tier1 vet lint race
 
@@ -42,6 +42,17 @@ chaos:
 # minutes; see EXPERIMENTS.md for the committed summary).
 results:
 	$(GO) run ./cmd/hetbench -json results_full.json | tee results_full.txt
+
+# Serving-layer smoke: a seeded hetload soak (deterministic dispatch
+# asserted by running twice, SLOs on, warm probes pinned to zero) plus
+# a small-queue backpressure run that must see rejections and still
+# land every job through retry/backoff.
+.PHONY: load-smoke
+load-smoke:
+	$(GO) run ./cmd/hetload -jobs 200 -tenants 4 -signatures 6 -seed 1 \
+		-verify-determinism -slo-min-cross-tenant-warm 10 -quiet -json /tmp/hetload_smoke.json
+	$(GO) run ./cmd/hetload -jobs 60 -tenants 3 -signatures 3 -seed 11 \
+		-no-preload -queue-depth 4 -max-inflight 2 -expect-rejections -quiet -json /tmp/hetload_backpressure.json
 
 # ------------------------------------------------------- benchmarks
 

@@ -15,6 +15,7 @@ import (
 
 	"hetmp/internal/experiments"
 	"hetmp/internal/interconnect"
+	"hetmp/internal/server"
 )
 
 // benchSuite builds a fresh suite per benchmark (experiments cache
@@ -247,5 +248,33 @@ func BenchmarkAblationSettling(b *testing.B) {
 		}
 		b.ReportMetric(float64(rows[0].Faults), "deterministic-faults")
 		b.ReportMetric(float64(rows[1].Faults), "rotated-faults")
+	}
+}
+
+// BenchmarkServerThroughput drives the multi-tenant region server
+// (internal/server) with a seeded 120-job, 4-tenant preloaded
+// workload sharing one decision cache. Throughput and p95 wait are
+// wall-clock ("-wall" metrics: benchguard applies the ns/op tolerance
+// and skips them under -skip-time); warm-probes, cache-hits and
+// server-virtual-s are deterministic virtual-time values pinned
+// exactly — warm-probes must stay 0 (every warm run, including every
+// cross-tenant one, takes the probe-free fast path).
+func BenchmarkServerThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report, err := server.RunLoad(server.LoadConfig{
+			Jobs: 120, Tenants: 4, Signatures: 6, Seed: 1,
+			MaxInFlight: 8,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if report.Failed > 0 || len(report.SLOFailures) > 0 {
+			b.Fatalf("load run failed: failed=%d slo=%v", report.Failed, report.SLOFailures)
+		}
+		b.ReportMetric(report.Throughput, "jobs/s-wall")
+		b.ReportMetric(report.Wait.P95, "p95-wait-ms-wall")
+		b.ReportMetric(float64(report.WarmProbes), "warm-probes")
+		b.ReportMetric(float64(report.CacheHits), "cache-hits")
+		b.ReportMetric(report.VirtualSeconds, "server-virtual-s")
 	}
 }

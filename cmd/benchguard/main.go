@@ -9,6 +9,10 @@
 //   - custom metrics are virtual-time results, deterministic across
 //     machines: any drift beyond -metric-tolerance (default 0, exact)
 //     is a behavioral change, not noise, and fails in both directions.
+//   - metrics whose name ends in "-wall" (e.g. jobs/s-wall) are
+//     wall-clock measurements like ns/op: they tolerate
+//     -wall-tolerance (default 50%) drift in either direction and are
+//     skipped entirely under -skip-time.
 //
 // Usage:
 //
@@ -21,6 +25,7 @@ import (
 	"math"
 	"os"
 	"sort"
+	"strings"
 
 	"hetmp/internal/benchfmt"
 )
@@ -31,6 +36,7 @@ func main() {
 		curPath   = flag.String("current", "", "freshly measured snapshot (benchjson output)")
 		tolerance = flag.Float64("tolerance", 0.20, "allowed ns/op slowdown vs baseline (0.20 = 20%)")
 		metricTol = flag.Float64("metric-tolerance", 0, "allowed relative drift for custom (virtual-time) metrics")
+		wallTol   = flag.Float64("wall-tolerance", 0.50, `allowed relative drift for "-wall" (wall-clock) metrics`)
 		skipTime  = flag.Bool("skip-time", false, "skip ns/op comparison (cross-machine CI); custom metrics still guard")
 	)
 	flag.Parse()
@@ -48,7 +54,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchguard:", err)
 		os.Exit(2)
 	}
-	failures := compare(base, cur, *tolerance, *metricTol, *skipTime)
+	failures := compare(base, cur, *tolerance, *metricTol, *wallTol, *skipTime)
 	for _, f := range failures {
 		fmt.Println("FAIL:", f)
 	}
@@ -60,7 +66,7 @@ func main() {
 		len(base.Benchmarks), *tolerance*100, *metricTol*100, *skipTime)
 }
 
-func compare(base, cur *benchfmt.File, tolerance, metricTol float64, skipTime bool) []string {
+func compare(base, cur *benchfmt.File, tolerance, metricTol, wallTol float64, skipTime bool) []string {
 	var failures []string
 	names := make([]string, 0, len(base.Benchmarks))
 	for name := range base.Benchmarks {
@@ -88,6 +94,16 @@ func compare(base, cur *benchfmt.File, tolerance, metricTol float64, skipTime bo
 			cv, ok := c.Metrics[m]
 			if !ok {
 				failures = append(failures, fmt.Sprintf("%s: metric %q missing from current snapshot", name, m))
+				continue
+			}
+			if strings.HasSuffix(m, "-wall") {
+				if skipTime {
+					continue
+				}
+				if !within(bv, cv, wallTol) {
+					failures = append(failures, fmt.Sprintf("%s: wall metric %q = %g, baseline %g (beyond %.0f%% wall budget)",
+						name, m, cv, bv, wallTol*100))
+				}
 				continue
 			}
 			if !within(bv, cv, metricTol) {

@@ -111,5 +111,8 @@ func run(listen, name string, throttle time.Duration, fault *rpc.FaultConfig, de
 		mode = " [fault injection active]"
 	}
 	fmt.Printf("hetworker %q serving on %s (throttle %v)%s\n", name, ln.Addr(), throttle, mode)
-	return srv.Serve(ln)
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, rpc.ErrServerClosed) {
+		return err
+	}
+	return nil
 }

@@ -92,6 +92,33 @@ type Store struct {
 	status  string // why the on-disk file was rejected ("" = accepted or absent)
 }
 
+// pathLocks serializes merge-on-save per target file across every
+// Store in the process. The atomic temp+rename protects concurrent
+// savers in *different* processes (each keeps the other's regions, a
+// racing key is last-writer-wins), but two Stores in the same process
+// racing load→rename can interleave so the first rename's additions
+// are read by nobody and lost. A server hosting many tenants hits
+// exactly that, so in-process savers take a per-path mutex around the
+// whole read-merge-write cycle.
+var pathLocks struct {
+	mu sync.Mutex
+	m  map[string]*sync.Mutex
+}
+
+func pathLock(path string) *sync.Mutex {
+	pathLocks.mu.Lock()
+	defer pathLocks.mu.Unlock()
+	if pathLocks.m == nil {
+		pathLocks.m = make(map[string]*sync.Mutex)
+	}
+	l, ok := pathLocks.m[path]
+	if !ok {
+		l = &sync.Mutex{}
+		pathLocks.m[path] = l
+	}
+	return l
+}
+
 // Fingerprint derives the cluster-configuration fingerprint a store is
 // keyed by: a stable hash of the node specs plus any extra
 // configuration strings (interconnect protocol parameters, scale
@@ -123,6 +150,15 @@ func Open(path, fingerprint string) *Store {
 		s.entries = ff.Entries
 	}
 	return s
+}
+
+// NewMem builds a memory-only store: Lookup/Put work as usual, Save is
+// a no-op success, and nothing ever touches disk. A server that was
+// not given a cache directory uses one as its process-wide shared
+// decision cache — tenants still share probes for the lifetime of the
+// process, they just aren't persisted across restarts.
+func NewMem(fingerprint string) *Store {
+	return &Store{fingerprint: fingerprint, entries: map[string]Entry{}}
 }
 
 // OpenDir opens the per-fingerprint store file inside dir (creating
@@ -200,19 +236,33 @@ func (s *Store) Put(key string, e Entry) {
 // Save persists the store atomically: the current on-disk entries (if
 // still valid for this fingerprint) are merged under this store's
 // entries, written to a temporary file in the same directory and
-// renamed over the target. Concurrent savers therefore keep each
-// other's regions; a racing update to the same key is last-writer-
-// wins, which is safe — every entry is a self-consistent decision.
+// renamed over the target. Cross-process concurrent savers keep each
+// other's regions (a racing update to the same key is last-writer-
+// wins, which is safe — every entry is a self-consistent decision);
+// in-process savers targeting the same path additionally serialize
+// the whole read-merge-write cycle on a per-path lock, so none of
+// their updates can be lost to a load/rename interleaving. Save on a
+// memory-only store (NewMem) is a no-op.
 func (s *Store) Save() error {
+	if s.path == "" {
+		return nil
+	}
+	lock := pathLock(s.path)
+	lock.Lock()
+	defer lock.Unlock()
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	merged := make(map[string]Entry, len(s.entries))
+	snapshot := make(map[string]Entry, len(s.entries))
+	for k, v := range s.entries {
+		snapshot[k] = v
+	}
+	s.mu.Unlock()
+	merged := make(map[string]Entry, len(snapshot))
 	if ff, _ := load(s.path, s.fingerprint); ff != nil {
 		for k, v := range ff.Entries {
 			merged[k] = v
 		}
 	}
-	for k, v := range s.entries {
+	for k, v := range snapshot {
 		merged[k] = v
 	}
 	data, err := json.MarshalIndent(fileFormat{

@@ -71,8 +71,8 @@ func TestCloseBeforeServe(t *testing.T) {
 	go func() { served <- srv.Serve(ln) }()
 	select {
 	case err := <-served:
-		if err != nil {
-			t.Fatalf("Serve after Close = %v, want nil", err)
+		if !errors.Is(err, ErrServerClosed) {
+			t.Fatalf("Serve after Close = %v, want ErrServerClosed", err)
 		}
 	case <-time.After(2 * time.Second):
 		t.Fatal("Serve did not return after a prior Close")

@@ -1,0 +1,173 @@
+package rpc
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Lifecycle regressions for daemon-style reuse of Server: a long-running
+// process that serves, closes, and constructs fresh servers must get
+// typed errors from every stale handle instead of panics or silent
+// no-ops.
+
+func startServer(t *testing.T, srv *Server) (addr string, served chan error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served = make(chan error, 1)
+	go func() { served <- srv.Serve(ln) }()
+	return ln.Addr().String(), served
+}
+
+func waitServe(t *testing.T, served chan error) error {
+	t.Helper()
+	select {
+	case err := <-served:
+		return err
+	case <-time.After(2 * time.Second):
+		t.Fatal("Serve did not return")
+		return nil
+	}
+}
+
+// A closed server's Serve returns ErrServerClosed, and a second Serve on
+// the same server (one lifecycle per Server) does too — no panic, no
+// accept loop on a dead server.
+func TestRepeatedServeCloseCycles(t *testing.T) {
+	registerTestTasks(t)
+	srv := &Server{Name: "cycle"}
+	_, served := startServer(t, srv)
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := waitServe(t, served); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("Serve after Close = %v, want ErrServerClosed", err)
+	}
+
+	// Re-serving the same (now closed) Server is a typed error.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if err := srv.Serve(ln); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("second Serve = %v, want ErrServerClosed", err)
+	}
+
+	// The daemon pattern: construct a fresh Server per cycle. Three
+	// cycles must each serve and close cleanly.
+	for cycle := 0; cycle < 3; cycle++ {
+		s := &Server{Name: "cycle"}
+		addr, ch := startServer(t, s)
+		w, err := dialWorker(addr)
+		if err != nil {
+			t.Fatalf("cycle %d: dial: %v", cycle, err)
+		}
+		resp, err := w.call("count", 0, 4, 1, nil, false, time.Second)
+		w.closeConn()
+		if err != nil {
+			t.Fatalf("cycle %d: call: %v", cycle, err)
+		}
+		if resp.Partial != 4 {
+			t.Fatalf("cycle %d: partial = %v, want 4", cycle, resp.Partial)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatalf("cycle %d: Close: %v", cycle, err)
+		}
+		if err := waitServe(t, ch); !errors.Is(err, ErrServerClosed) {
+			t.Fatalf("cycle %d: Serve returned %v, want ErrServerClosed", cycle, err)
+		}
+	}
+}
+
+// Handler registration after Close is a typed error; duplicate and nil
+// registrations are rejected too.
+func TestHandleLifecycleErrors(t *testing.T) {
+	srv := &Server{Name: "handles"}
+	h := func(lo, hi int, arg float64, meta map[string]string) (float64, map[string]string, error) {
+		return float64(hi - lo), nil, nil
+	}
+	if err := srv.Handle("job", h); err != nil {
+		t.Fatalf("first Handle: %v", err)
+	}
+	if err := srv.Handle("job", h); !errors.Is(err, ErrDuplicateTask) {
+		t.Fatalf("duplicate Handle = %v, want ErrDuplicateTask", err)
+	}
+	if err := srv.Handle("nil", nil); err == nil {
+		t.Fatal("Handle(nil) succeeded, want error")
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := srv.Handle("late", h); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("Handle after Close = %v, want ErrServerClosed", err)
+	}
+}
+
+// MetaTask handlers round-trip request/response metadata through the
+// wire format, including on application errors (Client.CallMeta must
+// surface the error's meta so servers can tag typed rejections).
+func TestMetaTaskRoundTrip(t *testing.T) {
+	srv := &Server{Name: "meta"}
+	err := srv.Handle("echo", func(lo, hi int, arg float64, meta map[string]string) (float64, map[string]string, error) {
+		out := map[string]string{"tenant": meta["tenant"], "n": "ok"}
+		if meta["fail"] == "1" {
+			out["err_kind"] = "queue_full"
+			return 0, out, errors.New("queue full")
+		}
+		return arg * float64(hi-lo), out, nil
+	})
+	if err != nil {
+		t.Fatalf("Handle: %v", err)
+	}
+	addr, served := startServer(t, srv)
+	defer func() {
+		srv.Close()
+		waitServe(t, served)
+	}()
+
+	c, err := DialClient(addr)
+	if err != nil {
+		t.Fatalf("DialClient: %v", err)
+	}
+	defer c.Close()
+	if c.Name() != "meta" {
+		t.Fatalf("Name = %q, want meta", c.Name())
+	}
+
+	partial, meta, err := c.CallMeta("echo", 0, 8, 2, map[string]string{"tenant": "a"}, time.Second)
+	if err != nil {
+		t.Fatalf("CallMeta: %v", err)
+	}
+	if partial != 16 {
+		t.Fatalf("partial = %v, want 16", partial)
+	}
+	if meta["tenant"] != "a" || meta["n"] != "ok" {
+		t.Fatalf("meta = %v, want tenant=a n=ok", meta)
+	}
+
+	// Error path still carries metadata back.
+	_, meta, err = c.CallMeta("echo", 0, 8, 2, map[string]string{"tenant": "b", "fail": "1"}, time.Second)
+	if err == nil || !strings.Contains(err.Error(), "queue full") {
+		t.Fatalf("CallMeta error = %v, want queue full", err)
+	}
+	var re *remoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("error %v is not a remoteError", err)
+	}
+	if meta["err_kind"] != "queue_full" {
+		t.Fatalf("error meta = %v, want err_kind=queue_full", meta)
+	}
+
+	// A plain registry Task still dispatches on the same server
+	// alongside per-server MetaTask handlers.
+	registerTestTasks(t)
+	if got, err := c.Call("count", 0, 12, 0, time.Second); err != nil || got != 12 {
+		t.Fatalf("Call(count) = %v, %v; want 12, nil", got, err)
+	}
+}

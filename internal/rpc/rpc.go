@@ -47,6 +47,16 @@ import (
 // error carries how many iterations were left and the last failure.
 var ErrNoSurvivors = errors.New("all workers failed")
 
+// ErrServerClosed is returned by Server.Serve and Server.Handle once
+// Close has been called. A long-running daemon that cycles
+// Serve/Close must construct a fresh Server per cycle; this error —
+// instead of a silent nil return — is how a stale reuse surfaces.
+var ErrServerClosed = errors.New("rpc: server closed")
+
+// ErrDuplicateTask is returned by Server.Handle when the name is
+// already registered on that server.
+var ErrDuplicateTask = errors.New("rpc: duplicate task")
+
 // Task computes a partial result over iterations [lo, hi). arg is an
 // opaque scalar parameter (e.g. a sweep setting). Tasks must be pure:
 // the pool may re-execute ranges on failure.
@@ -87,6 +97,11 @@ type request struct {
 	Lo   int
 	Hi   int
 	Arg  float64
+	// Meta carries opaque per-request key/value pairs for handlers
+	// registered with HandleMeta (job submissions riding the task
+	// transport). Nil for plain task execution; gob omits it then, so
+	// the wire format of the pure-task protocol is unchanged.
+	Meta map[string]string
 	// Close tells the worker to hang up after replying.
 	Close bool
 }
@@ -96,7 +111,10 @@ type response struct {
 	ID        uint64
 	Partial   float64
 	ElapsedNs int64
-	Err       string
+	// Meta carries handler-supplied key/value results back to the
+	// caller (see MetaTask). Nil for plain task execution.
+	Meta map[string]string
+	Err  string
 }
 
 // hello is the worker's greeting.
@@ -152,13 +170,14 @@ type Server struct {
 	// hetworker's -debug-addr endpoint. Set it before Serve.
 	Telemetry *telemetry.Telemetry
 
-	mu     sync.Mutex
-	ln     net.Listener
-	wg     sync.WaitGroup
-	closed bool
-	done   chan struct{}
-	conns  map[net.Conn]struct{}
-	served atomic.Int64
+	mu       sync.Mutex
+	ln       net.Listener
+	wg       sync.WaitGroup
+	closed   bool
+	done     chan struct{}
+	conns    map[net.Conn]struct{}
+	handlers map[string]MetaTask
+	served   atomic.Int64
 
 	// Telemetry handles, resolved once in registerMetrics so the
 	// per-request path never takes the registry mutex (hetmplint
@@ -171,9 +190,6 @@ type Server struct {
 	corruptFaultCtr *telemetry.Counter
 }
 
-// Serve accepts connections on ln until Close is called. It returns
-// nil after a clean shutdown. If Close was already called, Serve
-// closes ln and returns nil immediately.
 // serverLabel is the telemetry label identifying this worker.
 func (s *Server) serverLabel() telemetry.Label {
 	name := s.Name
@@ -200,12 +216,58 @@ func (s *Server) registerMetrics() {
 	s.corruptFaultCtr = m.Counter("hetmp_rpc_server_faults_injected_total", lbl, telemetry.L("kind", "corrupt"))
 }
 
+// MetaTask is a per-server request handler: a Task that additionally
+// sees (and may answer with) request metadata. It is how a service
+// built on this transport — e.g. the region server's job submission
+// endpoint — carries structured parameters that plain tasks have no
+// field for. The returned error travels to the caller as an
+// application-level error (not retried by pools).
+type MetaTask func(lo, hi int, arg float64, meta map[string]string) (float64, map[string]string, error)
+
+// Handle registers a per-server handler for name. Unlike the global
+// Register it is safe for a long-running daemon: it returns
+// ErrDuplicateTask on a duplicate name and ErrServerClosed after
+// Close instead of panicking. Per-server handlers shadow the global
+// task registry.
+func (s *Server) Handle(name string, h MetaTask) error {
+	if h == nil {
+		return fmt.Errorf("rpc: Handle %q: nil handler", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("rpc: Handle %q: %w", name, ErrServerClosed)
+	}
+	if s.handlers == nil {
+		s.handlers = make(map[string]MetaTask)
+	}
+	if _, dup := s.handlers[name]; dup {
+		return fmt.Errorf("rpc: Handle %q: %w", name, ErrDuplicateTask)
+	}
+	s.handlers[name] = h
+	return nil
+}
+
+// handler returns the per-server handler for name, if any.
+func (s *Server) handler(name string) (MetaTask, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.handlers[name]
+	return h, ok
+}
+
+// Serve accepts connections on ln until Close is called, then returns
+// ErrServerClosed (the net/http contract: callers filter it on clean
+// shutdown). If Close was already called — including a previous
+// Serve/Close cycle on the same Server — Serve closes ln and returns
+// ErrServerClosed immediately: a Server serves at most one lifecycle,
+// daemons must construct a fresh one per cycle.
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		ln.Close()
-		return nil
+		return ErrServerClosed
 	}
 	s.ln = ln
 	s.mu.Unlock()
@@ -218,7 +280,7 @@ func (s *Server) Serve(ln net.Listener) error {
 			s.mu.Unlock()
 			if closed {
 				s.wg.Wait()
-				return nil
+				return ErrServerClosed
 			}
 			return err
 		}
@@ -339,6 +401,9 @@ func (s *Server) handle(conn net.Conn) {
 }
 
 func (s *Server) execute(req request) response {
+	if h, ok := s.handler(req.Task); ok {
+		return s.executeMeta(req, h)
+	}
 	if req.Hi <= req.Lo && !req.Close {
 		return response{ID: req.ID}
 	}
@@ -369,6 +434,21 @@ func (s *Server) execute(req request) response {
 		s.taskHist.Observe(elapsed)
 	}
 	return response{ID: req.ID, Partial: partial, ElapsedNs: elapsed.Nanoseconds()}
+}
+
+// executeMeta runs a per-server MetaTask handler for one request.
+func (s *Server) executeMeta(req request, h MetaTask) response {
+	start := time.Now()
+	partial, meta, err := h(req.Lo, req.Hi, req.Arg, req.Meta)
+	resp := response{ID: req.ID, Partial: partial, Meta: meta, ElapsedNs: time.Since(start).Nanoseconds()}
+	if err != nil {
+		resp.Err = err.Error()
+	}
+	if s.Telemetry.Enabled() {
+		s.iterCtr.Add(int64(req.Hi - req.Lo))
+		s.taskHist.Observe(time.Since(start))
+	}
+	return resp
 }
 
 // remoteError is an application-level error reported by a worker (the
@@ -429,7 +509,7 @@ func dialWorker(addr string) (*worker, error) {
 // whole exchange via connection deadlines; on expiry the connection is
 // unusable (a late response would desynchronize the gob stream) and
 // the caller must reconnect before retrying.
-func (w *worker) call(task string, lo, hi int, arg float64, closing bool, timeout time.Duration) (response, error) {
+func (w *worker) call(task string, lo, hi int, arg float64, meta map[string]string, closing bool, timeout time.Duration) (response, error) {
 	w.mu.Lock()
 	conn, enc, dec := w.conn, w.enc, w.dec
 	w.next++
@@ -442,7 +522,7 @@ func (w *worker) call(task string, lo, hi int, arg float64, closing bool, timeou
 		conn.SetDeadline(time.Now().Add(timeout))
 		defer conn.SetDeadline(time.Time{})
 	}
-	req := request{ID: id, Task: task, Lo: lo, Hi: hi, Arg: arg, Close: closing}
+	req := request{ID: id, Task: task, Lo: lo, Hi: hi, Arg: arg, Meta: meta, Close: closing}
 	if err := enc.Encode(req); err != nil {
 		return response{}, fmt.Errorf("rpc: send to %s: %w", w.name, err)
 	}
@@ -454,7 +534,10 @@ func (w *worker) call(task string, lo, hi int, arg float64, closing bool, timeou
 		return response{}, fmt.Errorf("rpc: %s answered request %d with id %d", w.name, id, resp.ID)
 	}
 	if resp.Err != "" {
-		return response{}, &remoteError{worker: w.name, msg: resp.Err}
+		// The response itself still carries any metadata the handler
+		// attached (error-kind tags for typed client-side mapping), so
+		// return it alongside the error.
+		return resp, &remoteError{worker: w.name, msg: resp.Err}
 	}
 	return resp, nil
 }
@@ -477,6 +560,71 @@ func (w *worker) closeConn() {
 		w.conn, w.enc, w.dec = nil, nil, nil
 	}
 	w.mu.Unlock()
+}
+
+// Client is a single-connection caller for one server: the host-API
+// side of a service built on this transport (a region-server tenant,
+// a control plane poking a daemon). Unlike Pool it does no probing,
+// apportionment or retrying — one Call is one request/response
+// exchange — so a service's admission decisions are visible to the
+// caller instead of being retried away. A Client serializes its calls;
+// use one Client per in-flight request stream.
+type Client struct {
+	w      *worker
+	mu     sync.Mutex // serializes Call/Close on the single connection
+	closed bool
+}
+
+// DialClient connects and handshakes with one server address.
+func DialClient(addr string) (*Client, error) {
+	w, err := dialWorker(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{w: w}, nil
+}
+
+// Name returns the server's advertised name.
+func (c *Client) Name() string { return c.w.name }
+
+// Call executes one registered task remotely. A timeout > 0 bounds the
+// whole exchange; on expiry the connection is closed and the Client is
+// no longer usable (gob streams cannot be resynchronized).
+func (c *Client) Call(task string, lo, hi int, arg float64, timeout time.Duration) (float64, error) {
+	partial, _, err := c.CallMeta(task, lo, hi, arg, nil, timeout)
+	return partial, err
+}
+
+// CallMeta is Call with request metadata, for servers exposing
+// MetaTask handlers. The returned metadata is valid even when err is
+// an application-level error — handlers tag rejections there (e.g.
+// a queue-full error kind) so callers can map them back to typed
+// errors.
+func (c *Client) CallMeta(task string, lo, hi int, arg float64, meta map[string]string, timeout time.Duration) (float64, map[string]string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, nil, fmt.Errorf("rpc: client for %s: connection closed", c.w.name)
+	}
+	resp, err := c.w.call(task, lo, hi, arg, meta, false, timeout)
+	if err != nil {
+		var re *remoteError
+		if !errors.As(err, &re) {
+			// Transport failure: the stream is unusable.
+			c.closed = true
+			c.w.closeConn()
+		}
+		return resp.Partial, resp.Meta, err
+	}
+	return resp.Partial, resp.Meta, nil
+}
+
+// Close hangs up.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	c.w.closeConn()
 }
 
 // Pool distributes loops over connected workers.
@@ -1038,7 +1186,7 @@ func (r *run) callChunk(i int, sp span) (response, error) {
 				return response{}, fmt.Errorf("rpc: %s: pool closed during retry: %w", w.name, lastErr)
 			}
 		}
-		resp, err := w.call(r.task, sp.lo, sp.hi, r.arg, false, r.timeout)
+		resp, err := w.call(r.task, sp.lo, sp.hi, r.arg, nil, false, r.timeout)
 		if err == nil {
 			return resp, nil
 		}

@@ -1,0 +1,49 @@
+package server
+
+import (
+	"sync"
+
+	"hetmp/internal/decstore"
+)
+
+// frozenCache adapts a decstore.Store to core.DecisionStore with
+// first-write-wins Put semantics: once a signature has an entry — the
+// cold prober's export, or a previous server run's persisted entry —
+// later exports for the key are dropped. Without the freeze every warm
+// run would re-export a slightly different entry (seeded-mature
+// invocation counts, drifting cumulative times) and concurrent warm
+// runs would adopt whichever version the race left behind, breaking
+// the server's determinism contract (equal signatures ⇒ identical
+// virtual time). The price is that warm-run refinements (including
+// ReDecide suspects condemned under chaos) don't persist; the cold
+// entry is the canonical one.
+type frozenCache struct {
+	mu    sync.Mutex
+	store *decstore.Store
+}
+
+func (c *frozenCache) Lookup(key string) (decstore.Entry, bool) {
+	return c.store.Lookup(key)
+}
+
+func (c *frozenCache) Put(key string, e decstore.Entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.store.Lookup(key); ok {
+		return
+	}
+	c.store.Put(key, e)
+}
+
+// NewCache builds the server's shared decision cache for an executor's
+// cluster fingerprint. With a directory it is the persistent per-
+// fingerprint store (probes survive server restarts and are shared
+// with offline suites pointed at the same -decision-store directory);
+// with an empty dir it is a process-lifetime in-memory store — tenants
+// still share each other's probes, nothing touches disk.
+func NewCache(dir, fingerprint string) (*decstore.Store, error) {
+	if dir == "" {
+		return decstore.NewMem(fingerprint), nil
+	}
+	return decstore.OpenDir(dir, fingerprint)
+}

@@ -1,0 +1,385 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseWeights parses a "tenant=weight,tenant=weight" flag value.
+func ParseWeights(s string) (map[string]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]float64{}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 || kv[0] == "" {
+			return nil, fmt.Errorf("bad weight %q (want tenant=weight)", part)
+		}
+		w, err := strconv.ParseFloat(kv[1], 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("bad weight %q: want a positive number", part)
+		}
+		out[kv[0]] = w
+	}
+	return out, nil
+}
+
+// SLO is a set of assertions a load run must meet. Zero fields are
+// not checked (except WarmProbes, which must always be zero).
+type SLO struct {
+	// MaxP95WaitMs bounds the 95th-percentile admission-to-dispatch
+	// wait.
+	MaxP95WaitMs float64
+	// MaxP95ServiceMs bounds the 95th-percentile service time.
+	MaxP95ServiceMs float64
+	// MinThroughput is the minimum completed jobs per wall second.
+	MinThroughput float64
+	// MinCrossTenantWarm is the minimum number of cross-tenant warm
+	// runs the shared cache must produce.
+	MinCrossTenantWarm int
+	// MaxRejections bounds admission rejections (-1 disables the
+	// check; 0 means none allowed).
+	MaxRejections int
+}
+
+// LoadConfig drives one seeded load-generator run against an
+// in-process RegionServer.
+type LoadConfig struct {
+	// Jobs is the total submission count. Defaults to 200.
+	Jobs int
+	// Tenants is how many synthetic tenants submit. Defaults to 4.
+	Tenants int
+	// Signatures is how many distinct region shapes the workload
+	// mixes. Defaults to 6.
+	Signatures int
+	// Seed drives tenant/shape assignment and executor seeds. The
+	// same seed reproduces the same workload bit-for-bit.
+	Seed int64
+	// QueueDepth / MaxInFlight / TenantIterBudget / Weights configure
+	// the server under test. QueueDepth defaults to Jobs (preload
+	// admits everything); set it lower with Preload off to exercise
+	// backpressure.
+	QueueDepth       int
+	MaxInFlight      int
+	TenantIterBudget int64
+	Weights          map[string]float64
+	// Preload (default true, via the zero value of NoPreload) submits
+	// the whole workload to a paused server, then resumes: admission
+	// order — and therefore dispatch order — is deterministic.
+	NoPreload bool
+	// MaxRetries is how many times a rejected submission retries with
+	// backoff in NoPreload mode. Defaults to 25.
+	MaxRetries int
+	// ChaosProfile runs every job under the named chaos profile.
+	ChaosProfile string
+	// CacheDir persists the shared decision cache ("" = in-memory).
+	CacheDir string
+	// SLO is asserted after the run; failures land in
+	// LoadReport.SLOFailures.
+	SLO SLO
+	// Logf receives progress lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+func (c LoadConfig) withDefaults() LoadConfig {
+	if c.Jobs <= 0 {
+		c.Jobs = 200
+	}
+	if c.Tenants <= 0 {
+		c.Tenants = 4
+	}
+	if c.Signatures <= 0 {
+		c.Signatures = 6
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = c.Jobs
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 8
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 25
+	}
+	return c
+}
+
+// Percentiles summarizes a latency distribution in milliseconds.
+type Percentiles struct {
+	P50 float64 `json:"p50_ms"`
+	P95 float64 `json:"p95_ms"`
+	P99 float64 `json:"p99_ms"`
+}
+
+// LoadReport is the load generator's machine-readable result.
+type LoadReport struct {
+	Jobs            int            `json:"jobs"`
+	Tenants         int            `json:"tenants"`
+	Signatures      int            `json:"signatures"`
+	Seed            int64          `json:"seed"`
+	ChaosProfile    string         `json:"chaos_profile,omitempty"`
+	Preload         bool           `json:"preload"`
+	WallSeconds     float64        `json:"wall_seconds"`
+	Throughput      float64        `json:"throughput_jobs_per_sec"`
+	Wait            Percentiles    `json:"wait"`
+	Service         Percentiles    `json:"service"`
+	Completed       int            `json:"completed"`
+	Failed          int            `json:"failed"`
+	Rejections      int            `json:"rejections"`
+	Retries         int            `json:"retries"`
+	CacheHits       int            `json:"cache_hits"`
+	CacheMisses     int            `json:"cache_misses"`
+	CrossTenantWarm int            `json:"cross_tenant_warm"`
+	WarmProbes      int            `json:"warm_probes"`
+	BudgetWindows   int            `json:"budget_windows"`
+	VirtualSeconds  float64        `json:"virtual_seconds"`
+	DispatchHash    string         `json:"dispatch_hash"`
+	TenantJobs      map[string]int `json:"tenant_jobs"`
+	SLOFailures     []string       `json:"slo_failures"`
+	// DeterminismChecked/DeterminismOK report the double-run check
+	// (RunLoadVerified).
+	DeterminismChecked bool `json:"determinism_checked"`
+	DeterminismOK      bool `json:"determinism_ok,omitempty"`
+}
+
+// Workload generates the seeded job sequence for a config. Tenants
+// are "t0".."tN"; signatures mix iteration counts and footprints so
+// several shapes coexist in the shared cache. The same seed yields
+// the same sequence — hetload's remote mode reuses it against a
+// daemon.
+func Workload(cfg LoadConfig) []Spec {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	shapes := make([]Spec, cfg.Signatures)
+	for i := range shapes {
+		shapes[i] = Spec{
+			Region:     fmt.Sprintf("w%d", i),
+			Iterations: 1024 << (i % 3),       // 1k/2k/4k
+			Pages:      16 + 8*(i%4),          // 16..40 pages
+			OpsPerByte: []float64{16, 32, 64}[i%3],
+		}
+	}
+	specs := make([]Spec, cfg.Jobs)
+	for i := range specs {
+		sp := shapes[rng.Intn(len(shapes))]
+		sp.Tenant = fmt.Sprintf("t%d", rng.Intn(cfg.Tenants))
+		sp.Priority = rng.Intn(2)
+		specs[i] = sp
+	}
+	return specs
+}
+
+// RunLoad executes one load run against a fresh in-process server and
+// returns the report. The server is built, driven, drained and closed
+// inside the call.
+func RunLoad(cfg LoadConfig) (LoadReport, error) {
+	cfg = cfg.withDefaults()
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	x := NewSimExecutor(SimExecutorConfig{Seed: cfg.Seed, ChaosProfile: cfg.ChaosProfile})
+	store, err := NewCache(cfg.CacheDir, x.Fingerprint())
+	if err != nil {
+		return LoadReport{}, err
+	}
+	x = NewSimExecutor(SimExecutorConfig{Seed: cfg.Seed, ChaosProfile: cfg.ChaosProfile, Store: store})
+	rs := New(Config{
+		QueueDepth:       cfg.QueueDepth,
+		MaxInFlight:      cfg.MaxInFlight,
+		TenantIterBudget: cfg.TenantIterBudget,
+		Weights:          cfg.Weights,
+		StartPaused:      !cfg.NoPreload,
+		Executor:         x,
+	})
+	defer rs.Close()
+
+	specs := Workload(cfg)
+	report := LoadReport{
+		Jobs: cfg.Jobs, Tenants: cfg.Tenants, Signatures: cfg.Signatures,
+		Seed: cfg.Seed, ChaosProfile: cfg.ChaosProfile, Preload: !cfg.NoPreload,
+		TenantJobs: map[string]int{},
+	}
+
+	start := time.Now()
+	var results []Result
+	if cfg.NoPreload {
+		results = submitConcurrent(rs, specs, cfg, &report)
+	} else {
+		chans := make([]<-chan Result, 0, len(specs))
+		for i, sp := range specs {
+			ch, err := rs.SubmitAsync(sp)
+			if err != nil {
+				return report, fmt.Errorf("preload submit %d: %w", i, err)
+			}
+			chans = append(chans, ch)
+		}
+		logf("hetload: preloaded %d jobs across %d tenants, resuming", len(specs), cfg.Tenants)
+		start = time.Now()
+		rs.Resume()
+		for _, ch := range chans {
+			results = append(results, <-ch)
+		}
+	}
+	rs.Drain()
+	wall := time.Since(start)
+	if err := x.Save(); err != nil {
+		return report, fmt.Errorf("cache save: %w", err)
+	}
+
+	st := rs.Stats()
+	report.WallSeconds = wall.Seconds()
+	report.Completed = st.Completed
+	report.Failed = st.Failed
+	report.Rejections = st.Rejected
+	report.CacheHits = st.CacheHits
+	report.CacheMisses = st.CacheMisses
+	report.CrossTenantWarm = st.CrossTenantWarm
+	report.WarmProbes = st.WarmProbes
+	report.BudgetWindows = st.BudgetWindows
+	report.VirtualSeconds = time.Duration(st.VirtualNs).Seconds()
+	report.DispatchHash = fmt.Sprintf("%016x", st.DispatchHash)
+	if wall > 0 {
+		report.Throughput = float64(st.Completed) / wall.Seconds()
+	}
+	var waits, svcs []time.Duration
+	for _, r := range results {
+		if r.Err != nil {
+			continue
+		}
+		waits = append(waits, r.Wait)
+		svcs = append(svcs, r.Service)
+		report.TenantJobs[r.Tenant]++
+	}
+	report.Wait = ComputePercentiles(waits)
+	report.Service = ComputePercentiles(svcs)
+	report.SLOFailures = CheckSLO(cfg.SLO, report)
+	logf("hetload: %d jobs in %.2fs (%.1f jobs/s), wait p95 %.2fms, %d cache hits (%d cross-tenant), %d rejections",
+		report.Completed, report.WallSeconds, report.Throughput, report.Wait.P95,
+		report.CacheHits, report.CrossTenantWarm, report.Rejections)
+	return report, nil
+}
+
+// RunLoadVerified runs the workload twice on fresh servers and asserts
+// the dispatch sequence and total virtual time reproduce exactly for
+// the fixed seed. Returns the first run's report with the determinism
+// fields set (a mismatch is also appended to SLOFailures).
+func RunLoadVerified(cfg LoadConfig) (LoadReport, error) {
+	r1, err := RunLoad(cfg)
+	if err != nil {
+		return r1, err
+	}
+	r2, err := RunLoad(cfg)
+	if err != nil {
+		return r1, err
+	}
+	r1.DeterminismChecked = true
+	r1.DeterminismOK = true
+	if r1.DispatchHash != r2.DispatchHash {
+		r1.DeterminismOK = false
+		r1.SLOFailures = append(r1.SLOFailures,
+			fmt.Sprintf("determinism: dispatch hash %s != %s across identical seeded runs", r1.DispatchHash, r2.DispatchHash))
+	}
+	if r1.VirtualSeconds != r2.VirtualSeconds {
+		r1.DeterminismOK = false
+		r1.SLOFailures = append(r1.SLOFailures,
+			fmt.Sprintf("determinism: total virtual time %.9fs != %.9fs across identical seeded runs", r1.VirtualSeconds, r2.VirtualSeconds))
+	}
+	return r1, nil
+}
+
+// submitConcurrent is the NoPreload path: one goroutine per job,
+// retrying typed queue-full rejections with seeded-jitter backoff.
+// Admission order is racy by construction — this mode exercises
+// backpressure, not determinism.
+func submitConcurrent(rs *RegionServer, specs []Spec, cfg LoadConfig, report *LoadReport) []Result {
+	type outcome struct {
+		r       Result
+		retries int
+		ok      bool
+	}
+	outcomes := make([]outcome, len(specs))
+	done := make(chan int, len(specs))
+	for i, sp := range specs {
+		go func(i int, sp Spec) {
+			backoff := time.Millisecond
+			for attempt := 0; ; attempt++ {
+				r, err := rs.Submit(sp)
+				if err == nil {
+					outcomes[i] = outcome{r: r, retries: attempt, ok: true}
+					break
+				}
+				if attempt >= cfg.MaxRetries {
+					outcomes[i] = outcome{retries: attempt}
+					break
+				}
+				time.Sleep(backoff)
+				if backoff < 64*time.Millisecond {
+					backoff *= 2
+				}
+			}
+			done <- i
+		}(i, sp)
+	}
+	var results []Result
+	for range specs {
+		i := <-done
+		if outcomes[i].ok {
+			results = append(results, outcomes[i].r)
+		}
+		report.Retries += outcomes[i].retries
+	}
+	return results
+}
+
+// ComputePercentiles summarizes a latency sample set in milliseconds.
+func ComputePercentiles(ds []time.Duration) Percentiles {
+	if len(ds) == 0 {
+		return Percentiles{}
+	}
+	sorted := make([]time.Duration, len(ds))
+	copy(sorted, ds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	at := func(q float64) float64 {
+		idx := int(q*float64(len(sorted))+0.5) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		return float64(sorted[idx]) / float64(time.Millisecond)
+	}
+	return Percentiles{P50: at(0.50), P95: at(0.95), P99: at(0.99)}
+}
+
+// CheckSLO evaluates a report against an SLO, returning one line per
+// violated assertion (empty = all met).
+func CheckSLO(slo SLO, r LoadReport) []string {
+	fails := []string{}
+	if r.WarmProbes != 0 {
+		fails = append(fails, fmt.Sprintf("warm cross-tenant probes = %d, want 0", r.WarmProbes))
+	}
+	if r.Failed > 0 {
+		fails = append(fails, fmt.Sprintf("%d jobs failed", r.Failed))
+	}
+	if slo.MaxP95WaitMs > 0 && r.Wait.P95 > slo.MaxP95WaitMs {
+		fails = append(fails, fmt.Sprintf("wait p95 %.2fms > SLO %.2fms", r.Wait.P95, slo.MaxP95WaitMs))
+	}
+	if slo.MaxP95ServiceMs > 0 && r.Service.P95 > slo.MaxP95ServiceMs {
+		fails = append(fails, fmt.Sprintf("service p95 %.2fms > SLO %.2fms", r.Service.P95, slo.MaxP95ServiceMs))
+	}
+	if slo.MinThroughput > 0 && r.Throughput < slo.MinThroughput {
+		fails = append(fails, fmt.Sprintf("throughput %.1f jobs/s < SLO %.1f", r.Throughput, slo.MinThroughput))
+	}
+	if slo.MinCrossTenantWarm > 0 && r.CrossTenantWarm < slo.MinCrossTenantWarm {
+		fails = append(fails, fmt.Sprintf("cross-tenant warm runs %d < SLO %d", r.CrossTenantWarm, slo.MinCrossTenantWarm))
+	}
+	if slo.MaxRejections >= 0 && r.Rejections > slo.MaxRejections {
+		fails = append(fails, fmt.Sprintf("rejections %d > SLO %d", r.Rejections, slo.MaxRejections))
+	}
+	return fails
+}

@@ -1,0 +1,85 @@
+package server
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// A short seeded load run: deterministic dispatch, zero warm probes,
+// cross-tenant cache hits, all SLOs met. This is the in-process
+// equivalent of `make load-smoke`.
+func TestRunLoadVerifiedSmoke(t *testing.T) {
+	report, err := RunLoadVerified(LoadConfig{
+		Jobs: 60, Tenants: 4, Signatures: 4, Seed: 7,
+		MaxInFlight: 8,
+		SLO: SLO{
+			MinCrossTenantWarm: 1,
+			MaxRejections:      0,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.DeterminismChecked || !report.DeterminismOK {
+		t.Fatalf("determinism check failed: %+v", report.SLOFailures)
+	}
+	if len(report.SLOFailures) != 0 {
+		t.Fatalf("SLO failures: %v", report.SLOFailures)
+	}
+	if report.Completed != 60 {
+		t.Fatalf("completed %d, want 60", report.Completed)
+	}
+	if report.CacheHits == 0 || report.CrossTenantWarm == 0 {
+		t.Fatalf("shared cache produced hits=%d crossTenant=%d, want > 0", report.CacheHits, report.CrossTenantWarm)
+	}
+	if report.WarmProbes != 0 {
+		t.Fatalf("warm probes = %d, want 0", report.WarmProbes)
+	}
+	// Cold probes: exactly one per signature actually used.
+	if report.CacheMisses > report.Signatures {
+		t.Fatalf("cache misses %d > %d signatures — a signature probed twice", report.CacheMisses, report.Signatures)
+	}
+	// The report must be valid JSON (hetload's output contract).
+	if _, err := json.MarshalIndent(report, "", "  "); err != nil {
+		t.Fatalf("report marshal: %v", err)
+	}
+}
+
+// NoPreload mode exercises live backpressure: a tiny queue rejects
+// bursts, retries with backoff land everything eventually.
+func TestRunLoadBackpressure(t *testing.T) {
+	report, err := RunLoad(LoadConfig{
+		Jobs: 30, Tenants: 3, Signatures: 2, Seed: 11,
+		QueueDepth: 4, MaxInFlight: 2, NoPreload: true,
+		MaxRetries: 200,
+		SLO:        SLO{MaxRejections: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Completed != 30 {
+		t.Fatalf("completed %d of 30 despite retries (rejections=%d retries=%d)", report.Completed, report.Rejections, report.Retries)
+	}
+	if len(report.SLOFailures) != 0 {
+		t.Fatalf("SLO failures: %v", report.SLOFailures)
+	}
+	if report.Rejections != report.Retries {
+		t.Fatalf("every rejection should be retried: rejections=%d retries=%d", report.Rejections, report.Retries)
+	}
+}
+
+// Chaos-on load still completes every job (ReDecide guards predicted
+// decisions); determinism is not asserted under chaos.
+func TestRunLoadChaos(t *testing.T) {
+	report, err := RunLoad(LoadConfig{
+		Jobs: 20, Tenants: 2, Signatures: 2, Seed: 3,
+		ChaosProfile: "link-degrade",
+		SLO:          SLO{MaxRejections: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Completed != 20 || report.Failed != 0 {
+		t.Fatalf("chaos run: completed=%d failed=%d, want 20/0", report.Completed, report.Failed)
+	}
+}

@@ -1,0 +1,217 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+
+	"hetmp/internal/rpc"
+)
+
+// RPC task names the daemon exposes.
+const (
+	TaskSubmit = "hetmp.submit"
+	TaskStats  = "hetmp.stats"
+	TaskResume = "hetmp.resume"
+	TaskDrain  = "hetmp.drain"
+)
+
+// Error-kind tags carried in response metadata so typed admission
+// errors survive the wire (an rpc remote error is a string; the tag
+// maps it back).
+const (
+	errKindKey      = "err_kind"
+	errKindFull     = "queue_full"
+	errKindDraining = "draining"
+	errKindStopped  = "stopped"
+)
+
+// Bind registers the serving tasks on an rpc.Server. The submit
+// handler blocks until the job completes (the rpc layer runs one
+// goroutine per connection, so concurrent tenants need one connection
+// each — exactly the Client model).
+func Bind(srv *rpc.Server, rs *RegionServer) error {
+	submit := func(lo, hi int, arg float64, meta map[string]string) (float64, map[string]string, error) {
+		sp, err := specFromMeta(meta)
+		if err != nil {
+			return 0, nil, err
+		}
+		res, err := rs.Submit(sp)
+		if err != nil {
+			out := map[string]string{}
+			switch {
+			case errors.Is(err, ErrQueueFull):
+				out[errKindKey] = errKindFull
+			case errors.Is(err, ErrDraining):
+				out[errKindKey] = errKindDraining
+			case errors.Is(err, ErrStopped):
+				out[errKindKey] = errKindStopped
+			}
+			return 0, out, err
+		}
+		if res.Err != nil {
+			return 0, map[string]string{}, res.Err
+		}
+		return float64(res.VirtualNs), resultToMeta(res), nil
+	}
+	stats := func(lo, hi int, arg float64, meta map[string]string) (float64, map[string]string, error) {
+		st := rs.Stats()
+		data, err := json.Marshal(st)
+		if err != nil {
+			return 0, nil, err
+		}
+		return float64(st.Completed), map[string]string{"stats": string(data)}, nil
+	}
+	resume := func(lo, hi int, arg float64, meta map[string]string) (float64, map[string]string, error) {
+		rs.Resume()
+		return 0, nil, nil
+	}
+	drain := func(lo, hi int, arg float64, meta map[string]string) (float64, map[string]string, error) {
+		rs.Drain()
+		return 0, nil, nil
+	}
+	for _, reg := range []struct {
+		name string
+		h    rpc.MetaTask
+	}{
+		{TaskSubmit, submit}, {TaskStats, stats}, {TaskResume, resume}, {TaskDrain, drain},
+	} {
+		if err := srv.Handle(reg.name, reg.h); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func specToMeta(sp Spec) map[string]string {
+	sp = sp.withDefaults()
+	return map[string]string{
+		"tenant":      sp.Tenant,
+		"region":      sp.Region,
+		"iterations":  strconv.Itoa(sp.Iterations),
+		"invocations": strconv.Itoa(sp.Invocations),
+		"opsperbyte":  strconv.FormatFloat(sp.OpsPerByte, 'g', -1, 64),
+		"pages":       strconv.Itoa(sp.Pages),
+		"priority":    strconv.Itoa(sp.Priority),
+	}
+}
+
+func specFromMeta(meta map[string]string) (Spec, error) {
+	if meta == nil {
+		return Spec{}, fmt.Errorf("server: submit without metadata")
+	}
+	sp := Spec{Tenant: meta["tenant"], Region: meta["region"]}
+	var err error
+	geti := func(key string) int {
+		v := meta[key]
+		if v == "" || err != nil {
+			return 0
+		}
+		n, e := strconv.Atoi(v)
+		if e != nil {
+			err = fmt.Errorf("server: bad %s %q", key, v)
+		}
+		return n
+	}
+	sp.Iterations = geti("iterations")
+	sp.Invocations = geti("invocations")
+	sp.Pages = geti("pages")
+	sp.Priority = geti("priority")
+	if v := meta["opsperbyte"]; v != "" && err == nil {
+		f, e := strconv.ParseFloat(v, 64)
+		if e != nil {
+			err = fmt.Errorf("server: bad opsperbyte %q", v)
+		}
+		sp.OpsPerByte = f
+	}
+	if err != nil {
+		return Spec{}, err
+	}
+	return sp, nil
+}
+
+func resultToMeta(r Result) map[string]string {
+	return map[string]string{
+		"sig":         r.Sig,
+		"seq":         strconv.Itoa(r.Seq),
+		"wait_ns":     strconv.FormatInt(int64(r.Wait), 10),
+		"service_ns":  strconv.FormatInt(int64(r.Service), 10),
+		"virtual_ns":  strconv.FormatInt(r.VirtualNs, 10),
+		"faults":      strconv.FormatInt(r.Faults, 10),
+		"probes":      strconv.Itoa(r.Probes),
+		"predictions": strconv.Itoa(r.Predictions),
+		"warm":        strconv.FormatBool(r.Warm),
+		"xtwarm":      strconv.FormatBool(r.CrossTenantWarm),
+	}
+}
+
+func resultFromMeta(tenant, region string, meta map[string]string) Result {
+	geti64 := func(key string) int64 {
+		n, _ := strconv.ParseInt(meta[key], 10, 64)
+		return n
+	}
+	geti := func(key string) int {
+		n, _ := strconv.Atoi(meta[key])
+		return n
+	}
+	return Result{
+		Tenant:          tenant,
+		Region:          region,
+		Sig:             meta["sig"],
+		Seq:             geti("seq"),
+		Wait:            time.Duration(geti64("wait_ns")),
+		Service:         time.Duration(geti64("service_ns")),
+		VirtualNs:       geti64("virtual_ns"),
+		Faults:          geti64("faults"),
+		Probes:          geti("probes"),
+		Predictions:     geti("predictions"),
+		Warm:            meta["warm"] == "true",
+		CrossTenantWarm: meta["xtwarm"] == "true",
+	}
+}
+
+// SubmitRemote submits one job through an rpc.Client and maps tagged
+// admission rejections back to the typed errors (errors.Is works
+// across the wire).
+func SubmitRemote(c *rpc.Client, sp Spec, timeout time.Duration) (Result, error) {
+	_, meta, err := c.CallMeta(TaskSubmit, 0, sp.withDefaults().Iterations, 0, specToMeta(sp), timeout)
+	if err != nil {
+		switch meta[errKindKey] {
+		case errKindFull:
+			return Result{}, fmt.Errorf("remote %s/%s: %w", sp.Tenant, sp.Region, ErrQueueFull)
+		case errKindDraining:
+			return Result{}, fmt.Errorf("remote %s/%s: %w", sp.Tenant, sp.Region, ErrDraining)
+		case errKindStopped:
+			return Result{}, fmt.Errorf("remote %s/%s: %w", sp.Tenant, sp.Region, ErrStopped)
+		}
+		return Result{}, err
+	}
+	return resultFromMeta(sp.Tenant, sp.Region, meta), nil
+}
+
+// StatsRemote fetches a Stats snapshot through an rpc.Client.
+func StatsRemote(c *rpc.Client, timeout time.Duration) (Stats, error) {
+	_, meta, err := c.CallMeta(TaskStats, 0, 0, 0, nil, timeout)
+	if err != nil {
+		return Stats{}, err
+	}
+	var st Stats
+	if err := json.Unmarshal([]byte(meta["stats"]), &st); err != nil {
+		return Stats{}, fmt.Errorf("server: stats decode: %w", err)
+	}
+	return st, nil
+}
+
+// ResumeRemote opens a paused remote server's dispatch gate.
+func ResumeRemote(c *rpc.Client, timeout time.Duration) error {
+	_, _, err := c.CallMeta(TaskResume, 0, 0, 0, nil, timeout)
+	return err
+}
+
+// DrainRemote gracefully drains the remote server.
+func DrainRemote(c *rpc.Client, timeout time.Duration) error {
+	_, _, err := c.CallMeta(TaskDrain, 0, 0, 0, nil, timeout)
+	return err
+}
