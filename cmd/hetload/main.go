@@ -12,10 +12,19 @@
 // that. -no-preload submits concurrently instead, exercising live
 // queue-full backpressure with retry/backoff.
 //
+// -nodes turns on the elastic-membership layer (jobs chunk across the
+// named nodes), -churn schedules add/remove/cordon/uncordon events at
+// dispatch milestones, and -chaos-slo asserts the per-profile p95/p99
+// wait+service latency budget table under the active -chaos-profile.
+//
 // Example:
 //
 //	hetload -jobs 200 -tenants 4 -seed 1 -verify-determinism \
 //	    -slo-p95-wait-ms 2000 -slo-min-cross-tenant-warm 10 -json -
+//
+//	hetload -jobs 120 -nodes n0:xeon:1,n1:thunderx:1,n2:thunderx:1 \
+//	    -churn remove:n1@30,add:n1:thunderx:1@70 \
+//	    -chaos-profile mixed -chaos-slo -verify-determinism
 package main
 
 import (
@@ -49,49 +58,73 @@ func main() {
 		jsonOut    = flag.String("json", "", "write the JSON report here (- = stdout)")
 		quiet      = flag.Bool("quiet", false, "suppress progress output")
 
+		nodes    = flag.String("nodes", "", "elastic membership: name:class[:weight],... (empty = membership off)")
+		churn    = flag.String("churn", "", "membership-churn schedule: op:args@dispatch,... (e.g. remove:n1@30,add:n1:thunderx:1@70)")
+		health   = flag.Bool("health", true, "enable the node health monitor (only with -nodes)")
+		chaosSLO = flag.Bool("chaos-slo", false, "assert the per-profile latency budget table for -chaos-profile (explicit -slo-* flags override)")
+
 		sloWaitP95 = flag.Float64("slo-p95-wait-ms", 0, "SLO: max p95 admission-to-dispatch wait (ms)")
+		sloWaitP99 = flag.Float64("slo-p99-wait-ms", 0, "SLO: max p99 admission-to-dispatch wait (ms)")
 		sloSvcP95  = flag.Float64("slo-p95-service-ms", 0, "SLO: max p95 service time (ms)")
+		sloSvcP99  = flag.Float64("slo-p99-service-ms", 0, "SLO: max p99 service time (ms)")
 		sloMinTput = flag.Float64("slo-min-throughput", 0, "SLO: min completed jobs per second")
 		sloMinXT   = flag.Int("slo-min-cross-tenant-warm", 0, "SLO: min cross-tenant warm (probe-free) runs")
 		expectRej  = flag.Bool("expect-rejections", false, "tolerate admission rejections (backpressure runs)")
 	)
 	flag.Parse()
-	if err := run(cfgFromFlags(*jobs, *tenants, *signatures, *seed, *queueDepth, *inflight, *budget,
-		*weights, *chaosProf, *cacheDir, *noPreload, *quiet,
-		*sloWaitP95, *sloSvcP95, *sloMinTput, *sloMinXT, *expectRej),
-		*verify, *connect, *jsonOut); err != nil {
-		fmt.Fprintf(os.Stderr, "hetload: %v\n", err)
-		os.Exit(1)
-	}
-}
-
-func cfgFromFlags(jobs, tenants, signatures int, seed int64, queueDepth, inflight int, budget int64,
-	weights, chaosProf, cacheDir string, noPreload, quiet bool,
-	sloWaitP95, sloSvcP95, sloMinTput float64, sloMinXT int, expectRej bool) server.LoadConfig {
 	cfg := server.LoadConfig{
-		Jobs: jobs, Tenants: tenants, Signatures: signatures, Seed: seed,
-		QueueDepth: queueDepth, MaxInFlight: inflight, TenantIterBudget: budget,
-		ChaosProfile: chaosProf, CacheDir: cacheDir, NoPreload: noPreload,
+		Jobs: *jobs, Tenants: *tenants, Signatures: *signatures, Seed: *seed,
+		QueueDepth: *queueDepth, MaxInFlight: *inflight, TenantIterBudget: *budget,
+		ChaosProfile: *chaosProf, CacheDir: *cacheDir, NoPreload: *noPreload,
 		SLO: server.SLO{
-			MaxP95WaitMs:       sloWaitP95,
-			MaxP95ServiceMs:    sloSvcP95,
-			MinThroughput:      sloMinTput,
-			MinCrossTenantWarm: sloMinXT,
+			MaxP95WaitMs:       *sloWaitP95,
+			MaxP99WaitMs:       *sloWaitP99,
+			MaxP95ServiceMs:    *sloSvcP95,
+			MaxP99ServiceMs:    *sloSvcP99,
+			MinThroughput:      *sloMinTput,
+			MinCrossTenantWarm: *sloMinXT,
 		},
 	}
-	if expectRej {
+	if *expectRej {
 		cfg.SLO.MaxRejections = -1
 	}
-	if w, err := server.ParseWeights(weights); err == nil {
-		cfg.Weights = w
-	} else {
+	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "hetload: %v\n", err)
 		os.Exit(1)
 	}
-	if !quiet {
+	var err error
+	if cfg.Weights, err = server.ParseWeights(*weights); err != nil {
+		fail(err)
+	}
+	if cfg.Members, err = server.ParseMembers(*nodes); err != nil {
+		fail(err)
+	}
+	if cfg.Churn, err = server.ParseChurn(*churn); err != nil {
+		fail(err)
+	}
+	if len(cfg.Churn) > 0 && len(cfg.Members) == 0 {
+		fail(errors.New("-churn requires -nodes"))
+	}
+	if len(cfg.Members) > 0 {
+		cfg.Health = server.HealthConfig{Enabled: *health}
+	}
+	if *chaosSLO {
+		budget, ok := server.ChaosSLOs(*chaosProf)
+		if !ok {
+			fail(fmt.Errorf("-chaos-slo: no latency budget for chaos profile %q", *chaosProf))
+		}
+		cfg.SLO = server.MergeSLO(cfg.SLO, budget)
+	}
+	if *connect != "" && len(cfg.Members) > 0 {
+		fail(errors.New("-nodes drives an in-process server; a remote hetserve's membership is configured on the daemon"))
+	}
+	if !*quiet {
 		cfg.Logf = func(f string, a ...any) { fmt.Fprintf(os.Stderr, f+"\n", a...) }
 	}
-	return cfg
+	if err := run(cfg, *verify, *connect, *jsonOut); err != nil {
+		fmt.Fprintf(os.Stderr, "hetload: %v\n", err)
+		os.Exit(1)
+	}
 }
 
 func run(cfg server.LoadConfig, verify bool, connect, jsonOut string) error {

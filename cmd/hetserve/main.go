@@ -3,8 +3,13 @@
 // submit parallel-region jobs (hetload's -connect mode, or any
 // rpc.Client speaking the hetmp.submit task); the server applies
 // admission control, weighted fair queueing with quotas, and shares
-// one probe/decision cache across every tenant. SIGINT drains
-// gracefully, persists the cache (when -cache-dir is set) and exits.
+// one probe/decision cache across every tenant. -nodes turns on the
+// elastic-membership layer; nodes can then be added, removed,
+// cordoned and uncordoned on the live daemon over rpc (the
+// hetmp.node-* tasks). SIGINT drains gracefully, persists the cache
+// (when -cache-dir is set) and exits; a second SIGINT during the
+// drain forces an immediate stop — partial-stats dump to stderr and
+// a non-zero exit.
 //
 // Example:
 //
@@ -13,6 +18,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -40,17 +46,23 @@ func main() {
 		seed        = flag.Int64("seed", 1, "executor seed (folded with each job's signature)")
 		scale       = flag.Float64("scale", 0.2, "scale-model cache factor for the simulated cluster")
 		debugAddr   = flag.String("debug-addr", "", "serve /metrics and /trace on this address")
+		nodes       = flag.String("nodes", "", "elastic membership: name:class[:weight],... (empty = membership off)")
+		health      = flag.Bool("health", true, "enable the node health monitor (only with -nodes)")
 	)
 	flag.Parse()
-	if err := run(*listen, *cacheDir, *queueDepth, *maxInflight, *tenantMax, *budget, *weights, *chaosProf, *seed, *scale, *debugAddr); err != nil {
+	if err := run(*listen, *cacheDir, *queueDepth, *maxInflight, *tenantMax, *budget, *weights, *chaosProf, *seed, *scale, *debugAddr, *nodes, *health); err != nil {
 		fmt.Fprintf(os.Stderr, "hetserve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 func run(listen, cacheDir string, queueDepth, maxInflight, tenantMax int, budget int64,
-	weights, chaosProf string, seed int64, scale float64, debugAddr string) error {
+	weights, chaosProf string, seed int64, scale float64, debugAddr, nodes string, health bool) error {
 	w, err := server.ParseWeights(weights)
+	if err != nil {
+		return err
+	}
+	members, err := server.ParseMembers(nodes)
 	if err != nil {
 		return err
 	}
@@ -93,8 +105,14 @@ func run(listen, cacheDir string, queueDepth, maxInflight, tenantMax int, budget
 		Weights:           w,
 		Executor:          exec,
 		Telemetry:         tel,
+		Members:           members,
+		Health:            server.HealthConfig{Enabled: health && len(members) > 0},
 		Logf:              func(f string, a ...any) { fmt.Printf(f+"\n", a...) },
 	})
+	if len(members) > 0 {
+		fmt.Printf("hetserve: elastic membership with %d nodes (health monitor %v)\n",
+			len(members), health)
+	}
 
 	srv := &rpc.Server{Name: "hetserve", Telemetry: tel}
 	if err := server.Bind(srv, rs); err != nil {
@@ -105,11 +123,21 @@ func run(listen, cacheDir string, queueDepth, maxInflight, tenantMax int, budget
 		return err
 	}
 
-	sigc := make(chan os.Signal, 1)
+	sigc := make(chan os.Signal, 2)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		s := <-sigc
-		fmt.Printf("hetserve: %v, draining\n", s)
+		fmt.Printf("hetserve: %v, draining (signal again to force stop)\n", s)
+		// A second signal during the drain forces an immediate stop:
+		// dump whatever stats exist right now and exit non-zero — the
+		// operator asked twice, so a wedged drain must not hold the
+		// process hostage.
+		go func() {
+			s2 := <-sigc
+			fmt.Fprintf(os.Stderr, "hetserve: %v during drain, forcing stop\n", s2)
+			dumpPartialStats(rs)
+			os.Exit(1)
+		}()
 		rs.Drain()
 		if err := exec.Save(); err != nil {
 			fmt.Fprintf(os.Stderr, "hetserve: cache save: %v\n", err)
@@ -126,4 +154,17 @@ func run(listen, cacheDir string, queueDepth, maxInflight, tenantMax int, budget
 		return err
 	}
 	return nil
+}
+
+// dumpPartialStats writes the server's current Stats snapshot to
+// stderr as JSON — the forced-stop path's record of what completed
+// before the operator pulled the plug.
+func dumpPartialStats(rs *server.RegionServer) {
+	st := rs.Stats()
+	data, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hetserve: partial stats: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "hetserve: partial stats at forced stop:\n%s\n", data)
 }

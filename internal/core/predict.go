@@ -42,6 +42,10 @@ func (rt *Runtime) tryPredict(e cluster.Env, regionID string, ent *probeEntry, n
 		return false
 	}
 	ent.storeChecked = true
+	if rt.opts.ForceReprobe != nil && rt.opts.ForceReprobe(regionID) {
+		rt.logf("hetprobe %s: forced re-probe, ignoring stored decision", regionID)
+		return false
+	}
 	se, ok := store.Lookup(regionID)
 	if !ok {
 		return false

@@ -261,3 +261,48 @@ func TestEntryToStoreRoundTrip(t *testing.T) {
 		t.Errorf("decision %s != %s", seeded.decision, ent.decision)
 	}
 }
+
+// TestForceReprobeIgnoresStoredDecision: the class-scoped re-probe
+// hook. A mature stored entry would normally be adopted probe-free;
+// with ForceReprobe answering true for the region, the run probes
+// afresh (bounded exactly like a cold run) and re-exports the
+// re-measured entry, while regions the hook declines keep the fast
+// path.
+func TestForceReprobeIgnoresStoredDecision(t *testing.T) {
+	const n, reps = 1600, 12
+	store := newMemStore()
+	rtCold, _, _, _ := runPingPong(t, Options{DecisionStore: store}, nil, n, reps)
+	if rtCold.Probes() == 0 {
+		t.Fatal("cold run performed no probes")
+	}
+
+	forced := 0
+	opts := Options{
+		DecisionStore: store,
+		ForceReprobe: func(regionID string) bool {
+			forced++
+			return regionID == "warm"
+		},
+	}
+	rt, _, _, _ := runPingPong(t, opts, nil, n, reps)
+	if forced == 0 {
+		t.Fatal("ForceReprobe hook was never consulted")
+	}
+	if rt.Predictions() != 0 {
+		t.Fatalf("forced re-probe still adopted a stored decision (%d predictions)", rt.Predictions())
+	}
+	if rt.Probes() != rtCold.Probes() {
+		t.Fatalf("forced re-probe performed %d probes, want the cold run's %d (bounded identically)",
+			rt.Probes(), rtCold.Probes())
+	}
+
+	// A region the hook declines keeps the probe-free fast path.
+	rtWarm, _, _, _ := runPingPong(t, Options{
+		DecisionStore: store,
+		ForceReprobe:  func(string) bool { return false },
+	}, nil, n, reps)
+	if rtWarm.Probes() != 0 || rtWarm.Predictions() != 1 {
+		t.Fatalf("declined hook broke the fast path: %d probes, %d predictions",
+			rtWarm.Probes(), rtWarm.Predictions())
+	}
+}

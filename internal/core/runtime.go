@@ -112,6 +112,18 @@ type Options struct {
 	// lower-confidence matches fall back to the normal probing period.
 	// Defaults to 0.5.
 	PredictorMinConfidence float64
+	// ForceReprobe, when non-nil, is consulted before a stored
+	// decision is adopted: returning true for a region makes the
+	// runtime probe it afresh even though the store holds a matching
+	// entry, and the re-measured decision is exported back through
+	// the store when Run returns. The serving layer uses this as its
+	// class-scoped re-probe hook — when a node of a class the stored
+	// entries have never covered joins the cluster, only the regions
+	// missing that class are re-probed (bounded by the caller), never
+	// the whole store. The probing itself stays bounded exactly as a
+	// cold run's is (ProbeFraction, ProbeMaxInvocations). Nil (the
+	// default) never forces a re-probe.
+	ForceReprobe func(regionID string) bool
 	// NodeThresholds optionally overrides FaultPeriodThreshold per
 	// node, implementing the paper's Section 5 extension to three or
 	// more nodes: "this break-even point is different for every node

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"sort"
 	"sync"
 
 	"hetmp/internal/decstore"
@@ -18,8 +19,9 @@ import (
 // ReDecide suspects condemned under chaos) don't persist; the cold
 // entry is the canonical one.
 type frozenCache struct {
-	mu    sync.Mutex
-	store *decstore.Store
+	mu      sync.Mutex
+	store   *decstore.Store
+	classes []string // node classes stamped onto exported entries
 }
 
 func (c *frozenCache) Lookup(key string) (decstore.Entry, bool) {
@@ -32,6 +34,43 @@ func (c *frozenCache) Put(key string, e decstore.Entry) {
 	if _, ok := c.store.Lookup(key); ok {
 		return
 	}
+	// Stamp the classes the measurement covers, so the membership
+	// layer can tell a newcomer of a known class (warm, no probe)
+	// from one of a class the entry has never seen (bounded re-probe).
+	e.Classes = append([]string(nil), c.classes...)
+	c.store.Put(key, e)
+}
+
+// reprobeCache is the write path of a forced re-probe: unlike the
+// frozen cache it OVERWRITES the stored entry (the re-probe exists to
+// replace a measurement that predates the newcomer's class), stamping
+// the union of the old coverage and the re-probe's class set. Lookups
+// still delegate — the re-probing run ignores them via ForceReprobe.
+type reprobeCache struct {
+	store   *decstore.Store
+	classes []string
+}
+
+func (c *reprobeCache) Lookup(key string) (decstore.Entry, bool) {
+	return c.store.Lookup(key)
+}
+
+func (c *reprobeCache) Put(key string, e decstore.Entry) {
+	merged := map[string]bool{}
+	if old, ok := c.store.Lookup(key); ok {
+		for _, cl := range old.Classes {
+			merged[cl] = true
+		}
+	}
+	for _, cl := range c.classes {
+		merged[cl] = true
+	}
+	classes := make([]string, 0, len(merged))
+	for cl := range merged {
+		classes = append(classes, cl)
+	}
+	sort.Strings(classes)
+	e.Classes = classes
 	c.store.Put(key, e)
 }
 

@@ -3,6 +3,8 @@ package server
 import (
 	"fmt"
 	"hash/fnv"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -79,7 +81,7 @@ func NewSimExecutor(cfg SimExecutorConfig) *SimExecutor {
 		proto:    "rdma",
 	}
 	if cfg.Store != nil {
-		x.cache = &frozenCache{store: cfg.Store}
+		x.cache = &frozenCache{store: cfg.Store, classes: x.Classes()}
 	}
 	return x
 }
@@ -88,6 +90,53 @@ func NewSimExecutor(cfg SimExecutorConfig) *SimExecutor {
 // decision-store binding key.
 func (x *SimExecutor) Fingerprint() string {
 	return decstore.Fingerprint(x.platform.Nodes, x.proto, fmt.Sprintf("scale=%g", x.cfg.Scale))
+}
+
+// Classes returns the node classes of the executor's platform
+// (lower-cased machine names, sorted, deduplicated). Decision entries
+// exported through the executor's cache are stamped with these — the
+// membership layer's warm-start coverage check reads them back.
+func (x *SimExecutor) Classes() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, n := range x.platform.Nodes {
+		c := strings.ToLower(n.Name)
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ClassCovered reports whether every stored decision entry covers the
+// node class — the membership layer's warm-start test. A store-less
+// executor trivially covers everything (nothing to warm from).
+func (x *SimExecutor) ClassCovered(class string) bool {
+	if x.cfg.Store == nil {
+		return true
+	}
+	return x.cfg.Store.ClassCovered(strings.ToLower(class))
+}
+
+// ReprobeSpecs returns up to limit runnable specs whose stored entries
+// do not cover the class — the newcomer's bounded warm-up worklist,
+// reconstructed from the store's signature keys.
+func (x *SimExecutor) ReprobeSpecs(class string, limit int) []Spec {
+	if x.cfg.Store == nil || limit <= 0 {
+		return nil
+	}
+	var out []Spec
+	for _, key := range x.cfg.Store.KeysMissingClass(strings.ToLower(class)) {
+		if len(out) >= limit {
+			break
+		}
+		if sp, ok := specFromSig(key); ok {
+			out = append(out, sp)
+		}
+	}
+	return out
 }
 
 // sigSeed derives a job's deterministic Sim seed from its signature:
@@ -105,19 +154,77 @@ func (x *SimExecutor) sigSeed(sig string) int64 {
 // whether the job paid the probing period or rode the shared cache.
 func (x *SimExecutor) Execute(sp Spec) (ExecResult, error) {
 	sp = sp.withDefaults()
+	var store core.DecisionStore
+	if x.cache != nil {
+		// Guarded assignment (a nil pointer wrapped in the interface
+		// would read as non-nil to the runtime). The frozenCache wrap
+		// gives first-write-wins exports: every warm run of a
+		// signature adopts the identical cold entry.
+		store = x.cache
+	}
+	return x.execute(sp, sp.Invocations, x.sigSeed(sp.Sig()), store, nil)
+}
+
+// ExecuteChunk runs `invocations` invocations of the job's region —
+// one membership chunk. The sim seed folds the chunk index on top of
+// the signature seed, so a chunk's execution (including any chaos
+// schedule) depends only on what it is (signature, size, position in
+// the job's plan), never on which node lane serves it or when — the
+// placement-neutrality invariant that keeps total virtual time
+// deterministic under arbitrary churn timing (DESIGN.md §16).
+func (x *SimExecutor) ExecuteChunk(sp Spec, invocations, chunkIndex int) (ExecResult, error) {
+	sp = sp.withDefaults()
+	var store core.DecisionStore
+	if x.cache != nil {
+		store = x.cache
+	}
+	return x.execute(sp, invocations, x.chunkSeed(sp.Sig(), chunkIndex), store, nil)
+}
+
+// chunkSeed derives a chunk's sim seed: the signature seed offset by
+// the chunk index, so sibling chunks of one job explore different
+// (but reproducible) points of the chaos schedule.
+func (x *SimExecutor) chunkSeed(sig string, chunkIndex int) int64 {
+	return x.sigSeed(sig) + int64(chunkIndex)*1_000_003
+}
+
+// Reprobe re-measures one region's decision, ignoring any stored
+// entry (core's ForceReprobe hook), and overwrites the store entry
+// with the fresh measurement stamped as covering `classes`. This is
+// the newcomer warm-up path: a node of a class the stored entries
+// have never covered joins, and the membership layer re-probes a
+// bounded set of signatures to validate their decisions for the new
+// class. Probing stays bounded exactly like a cold run's.
+func (x *SimExecutor) Reprobe(sp Spec, classes []string) (ExecResult, error) {
+	sp = sp.withDefaults()
+	var store core.DecisionStore
+	if x.cache != nil {
+		store = &reprobeCache{store: x.cache.store, classes: classes}
+	}
+	force := func(string) bool { return true }
+	return x.execute(sp, sp.Invocations, x.sigSeed(sp.Sig()), store, force)
+}
+
+// execute is the shared sim-run core behind Execute, ExecuteChunk and
+// Reprobe.
+func (x *SimExecutor) execute(sp Spec, invocations int, seed int64, store core.DecisionStore,
+	force func(string) bool) (ExecResult, error) {
+	if invocations < 1 {
+		invocations = 1
+	}
 	sig := sp.Sig()
 	var inj *chaos.Injector
 	if x.cfg.ChaosProfile != "" {
-		p, err := chaos.Named(x.cfg.ChaosProfile, x.sigSeed(sig))
+		p, err := chaos.Named(x.cfg.ChaosProfile, seed)
 		if err != nil {
 			return ExecResult{}, err
 		}
-		inj = chaos.New(p, x.sigSeed(sig))
+		inj = chaos.New(p, seed)
 	}
 	cl, err := cluster.NewSim(cluster.SimConfig{
 		Platform:  x.platform,
 		Protocol:  interconnect.RDMA56(),
-		Seed:      x.sigSeed(sig),
+		Seed:      seed,
 		Telemetry: x.cfg.Telemetry,
 		Chaos:     inj,
 	})
@@ -129,14 +236,9 @@ func (x *SimExecutor) Execute(sp Spec) (ExecResult, error) {
 		Telemetry:            x.cfg.Telemetry,
 		// Predicted decisions stay guarded: a shared-cache entry may
 		// have been produced under different chaos conditions.
-		ReDecide: true,
-	}
-	if x.cache != nil {
-		// Guarded assignment (a nil pointer wrapped in the interface
-		// would read as non-nil to the runtime). The frozenCache wrap
-		// gives first-write-wins exports: every warm run of a
-		// signature adopts the identical cold entry.
-		opts.DecisionStore = x.cache
+		ReDecide:      true,
+		DecisionStore: store,
+		ForceReprobe:  force,
 	}
 	rt := core.New(cl, opts)
 
@@ -149,7 +251,7 @@ func (x *SimExecutor) Execute(sp Spec) (ExecResult, error) {
 	opsPerIter := sp.OpsPerByte * float64(bytesPerIter)
 	err = rt.Run(func(a *core.App) {
 		region := a.Alloc(sig, size)
-		for inv := 0; inv < sp.Invocations; inv++ {
+		for inv := 0; inv < invocations; inv++ {
 			a.ParallelFor(sig, sp.Iterations, core.HetProbeSchedule(), func(e cluster.Env, lo, hi int) {
 				for i := lo; i < hi; i++ {
 					off := (int64(i) * bytesPerIter) % size

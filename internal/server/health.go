@@ -1,0 +1,243 @@
+package server
+
+import "fmt"
+
+// This file implements the membership health monitor: per-node breach
+// scoring fed by the executor's virtual-time watermarks, with a
+// probation → eviction → readmission-with-backoff state machine whose
+// transitions are deterministic under seeded chaos.
+//
+// Determinism comes from three rules (DESIGN.md §16):
+//
+//  1. Breaches are judged at job completion over the job's own chunk
+//     set — a chunk breaches when its per-invocation virtual time
+//     exceeds BreachFactor × the job's fastest sibling chunk, and the
+//     breach is attributed to the chunk's PLANNED node. The judgement
+//     reads only chunk results, which are placement-neutral (seeded by
+//     signature + chunk index, never by the serving node), so the
+//     delta is a pure function of the dispatch-time plan — independent
+//     of execution order, wall clock, and of whether churn later
+//     rehomed the chunk. A breach attributed to a node that has since
+//     been evicted or removed is a deterministic no-op.
+//  2. Deltas are applied in dispatch-index order, contiguously — never
+//     in completion order.
+//  3. A windowed completion barrier pins WHERE transitions take
+//     effect: dispatch milestone d proceeds only after the delta of
+//     job d−MaxInFlight is applied, so the health watermark at any
+//     dispatch is exactly d−MaxInFlight regardless of completion
+//     timing or the concurrency level's jitter.
+//
+// Transitions fold into a separate hash chain (HealthHash) that
+// DispatchHash combines, so -verify-determinism double-runs assert the
+// health history bit-for-bit alongside the dispatch sequence.
+
+// HealthConfig tunes the health monitor. Zero value = disabled.
+type HealthConfig struct {
+	// Enabled turns the monitor on (requires Config.Members).
+	Enabled bool
+	// BreachFactor is the straggler threshold: a chunk breaches when
+	// its per-invocation virtual time exceeds BreachFactor × the job's
+	// fastest chunk. Defaults to 3.
+	BreachFactor float64
+	// ProbationScore is the breach score that moves an active node to
+	// probation. Defaults to 3.
+	ProbationScore int
+	// EvictScore is the breach score that evicts a probation node.
+	// Defaults to 2×ProbationScore.
+	EvictScore int
+	// ReadmitAfter is the base readmission backoff, counted in applied
+	// jobs (dispatch-ordered deltas, a virtual clock). Each prior
+	// eviction doubles it. Defaults to 8.
+	ReadmitAfter int
+}
+
+func (h HealthConfig) withDefaults() HealthConfig {
+	if h.BreachFactor <= 1 {
+		h.BreachFactor = 3
+	}
+	if h.ProbationScore <= 0 {
+		h.ProbationScore = 3
+	}
+	if h.EvictScore <= h.ProbationScore {
+		h.EvictScore = 2 * h.ProbationScore
+	}
+	if h.ReadmitAfter <= 0 {
+		h.ReadmitAfter = 8
+	}
+	return h
+}
+
+// healthDelta is one completed job's contribution to node scores,
+// keyed by node name. Maps are only ever read through the sorted
+// member order.
+type healthDelta struct {
+	breaches     map[string]int
+	participated map[string]bool
+}
+
+// healthDeltaLocked judges a completed job's chunks. Monolithic,
+// failed and single-chunk jobs contribute an empty delta (no sibling
+// baseline to judge against) — posted anyway to keep the applied
+// sequence contiguous.
+func (s *RegionServer) healthDeltaLocked(j *job, err error) *healthDelta {
+	d := &healthDelta{}
+	if err != nil || len(j.plan) < 2 {
+		return d
+	}
+	minPer := int64(-1)
+	for _, c := range j.plan {
+		if c.invs <= 0 {
+			continue
+		}
+		per := c.res.VirtualNs / int64(c.invs)
+		if minPer < 0 || per < minPer {
+			minPer = per
+		}
+	}
+	if minPer <= 0 {
+		return d
+	}
+	limit := int64(float64(minPer) * s.healthCfg.BreachFactor)
+	d.breaches = map[string]int{}
+	d.participated = map[string]bool{}
+	for _, c := range j.plan {
+		if c.invs <= 0 {
+			continue
+		}
+		d.participated[c.planned] = true
+		if c.res.VirtualNs/int64(c.invs) > limit {
+			d.breaches[c.planned]++
+		}
+	}
+	return d
+}
+
+// applyHealthUptoLocked applies pending deltas contiguously through
+// dispatch index `upto`. Returns false when a needed delta has not
+// been posted yet (its job is still running) — the scheduler's barrier
+// then parks until a completion signals it.
+func (s *RegionServer) applyHealthUptoLocked(upto int, wakes *[]chan struct{}) bool {
+	for s.healthApplied <= upto {
+		delta, ok := s.healthPending[s.healthApplied]
+		if !ok {
+			return false
+		}
+		delete(s.healthPending, s.healthApplied)
+		s.applyHealthDeltaLocked(s.healthApplied, delta, wakes)
+		s.healthApplied++
+	}
+	return true
+}
+
+// applyHealthDeltaLocked runs the state machine for one applied job,
+// walking members in sorted name order (the deterministic-iteration
+// rule). idx is the delta's dispatch index — the virtual timestamp on
+// every transition record.
+func (s *RegionServer) applyHealthDeltaLocked(idx int, delta *healthDelta, wakes *[]chan struct{}) {
+	for _, name := range s.memberOrder {
+		m := s.members[name]
+		switch m.state {
+		case NodeRemoved, NodeDraining, NodeEvicted:
+			continue
+		}
+		if b := delta.breaches[name]; b > 0 {
+			m.score += b
+			m.stats.Breaches += b
+			if m.state == NodeActive && m.score >= s.healthCfg.ProbationScore {
+				m.state = NodeProbation
+				s.memStats.Probations++
+				s.healthTransitionLocked(idx, "probation", name)
+			}
+			if m.state == NodeProbation && m.score >= s.healthCfg.EvictScore {
+				s.evictLocked(idx, m, wakes)
+			}
+		} else if delta.participated[name] {
+			// A clean participating job decays the score — sustained
+			// breaching is what escalates, not ancient history.
+			if m.score > 0 {
+				m.score--
+			}
+			if m.state == NodeProbation && m.score == 0 {
+				m.state = NodeActive
+				s.healthTransitionLocked(idx, "recovered", name)
+			}
+		}
+	}
+	applied := idx + 1
+	for _, name := range s.memberOrder {
+		m := s.members[name]
+		if m.state != NodeEvicted {
+			continue
+		}
+		if applied-m.evictedAt >= s.readmitBackoffLocked(m) {
+			m.state = NodeProbation
+			m.score = 0
+			m.stats.Readmissions++
+			s.memStats.Readmissions++
+			s.healthTransitionLocked(idx, "readmit", name)
+		}
+	}
+}
+
+// evictLocked evicts a breaching probation node: its queued chunks
+// rehome to the survivors, and it sits out a backoff that doubles with
+// each repeat offense (the flap damper). Refuses — deterministically —
+// to evict the last serving node.
+func (s *RegionServer) evictLocked(idx int, m *memberState, wakes *[]chan struct{}) {
+	others := 0
+	for _, name := range s.memberOrder {
+		o := s.members[name]
+		if o == m {
+			continue
+		}
+		switch o.state {
+		case NodeActive, NodeProbation, NodeWarming:
+			others++
+		}
+	}
+	if others == 0 {
+		s.healthTransitionLocked(idx, "evict-refused", m.spec.Name)
+		return
+	}
+	m.state = NodeEvicted
+	m.evictions++
+	m.evictedAt = idx + 1
+	m.stats.Evictions++
+	s.memStats.Evictions++
+	s.rehomeLocked(m, wakes)
+	s.healthTransitionLocked(idx, "evict", m.spec.Name)
+}
+
+// readmitBackoffLocked is the eviction's sit-out length in applied
+// jobs: ReadmitAfter doubled per prior eviction (capped at 64×).
+func (s *RegionServer) readmitBackoffLocked(m *memberState) int {
+	shift := m.evictions - 1
+	if shift < 0 {
+		shift = 0
+	}
+	if shift > 6 {
+		shift = 6
+	}
+	return s.healthCfg.ReadmitAfter << shift
+}
+
+// healthTransitionLocked records one state-machine transition: into
+// the health hash chain (the determinism fingerprint), the transitions
+// log (what tests and hetload reports inspect) and the server log.
+func (s *RegionServer) healthTransitionLocked(idx int, what, name string) {
+	rec := fmt.Sprintf("j%d:%s:%s", idx, what, name)
+	s.healthHash.mix(rec)
+	s.memStats.Transitions = append(s.memStats.Transitions, rec)
+	s.logf("server: health %s", rec)
+}
+
+// combinedHashLocked is the determinism fingerprint: the dispatch-
+// sequence chain (which includes churn records) combined with the
+// health-transition chain.
+func (s *RegionServer) combinedHashLocked() uint64 {
+	h := s.hash.h
+	if s.members != nil {
+		h ^= s.healthHash.h * 0x9E3779B97F4A7C15
+	}
+	return h
+}

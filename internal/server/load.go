@@ -30,13 +30,19 @@ func ParseWeights(s string) (map[string]float64, error) {
 }
 
 // SLO is a set of assertions a load run must meet. Zero fields are
-// not checked (except WarmProbes, which must always be zero).
+// not checked (except WarmProbes, which must always be zero, and
+// LostIterations when the membership layer is on).
 type SLO struct {
 	// MaxP95WaitMs bounds the 95th-percentile admission-to-dispatch
 	// wait.
 	MaxP95WaitMs float64
+	// MaxP99WaitMs bounds the 99th-percentile admission-to-dispatch
+	// wait (the chaos-on tail gate).
+	MaxP99WaitMs float64
 	// MaxP95ServiceMs bounds the 95th-percentile service time.
 	MaxP95ServiceMs float64
+	// MaxP99ServiceMs bounds the 99th-percentile service time.
+	MaxP99ServiceMs float64
 	// MinThroughput is the minimum completed jobs per wall second.
 	MinThroughput float64
 	// MinCrossTenantWarm is the minimum number of cross-tenant warm
@@ -45,6 +51,55 @@ type SLO struct {
 	// MaxRejections bounds admission rejections (-1 disables the
 	// check; 0 means none allowed).
 	MaxRejections int
+}
+
+// ChaosSLOs returns the latency budget for a named chaos profile —
+// the p95/p99 wait+service gates hetload's -chaos-slo flag and the
+// churn-smoke CI job assert. Budgets are wall-clock, sized with
+// order-of-magnitude headroom over the scale-model's observed
+// latencies so they catch pathological stalls (a wedged drain, a
+// lost wakeup, unbounded rehome loops) rather than CI jitter. The
+// second return is false for an unknown profile.
+func ChaosSLOs(profile string) (SLO, bool) {
+	budgets := map[string]SLO{
+		// Link chaos slows remote probes but not steady-state much.
+		"link-degrade": {MaxP95WaitMs: 20000, MaxP99WaitMs: 30000, MaxP95ServiceMs: 2000, MaxP99ServiceMs: 4000},
+		"link-flap":    {MaxP95WaitMs: 20000, MaxP99WaitMs: 30000, MaxP95ServiceMs: 2000, MaxP99ServiceMs: 4000},
+		"dsm-loss":     {MaxP95WaitMs: 20000, MaxP99WaitMs: 30000, MaxP95ServiceMs: 3000, MaxP99ServiceMs: 5000},
+		// Node chaos produces stragglers/freezes: wider service tail.
+		"node-straggle": {MaxP95WaitMs: 30000, MaxP99WaitMs: 45000, MaxP95ServiceMs: 4000, MaxP99ServiceMs: 6000},
+		"node-freeze":   {MaxP95WaitMs: 30000, MaxP99WaitMs: 45000, MaxP95ServiceMs: 6000, MaxP99ServiceMs: 10000},
+		"mixed":         {MaxP95WaitMs: 30000, MaxP99WaitMs: 45000, MaxP95ServiceMs: 6000, MaxP99ServiceMs: 10000},
+	}
+	s, ok := budgets[profile]
+	return s, ok
+}
+
+// MergeSLO fills unset (zero) fields of base from def — the explicit
+// flag always wins over the ChaosSLOs table.
+func MergeSLO(base, def SLO) SLO {
+	if base.MaxP95WaitMs == 0 {
+		base.MaxP95WaitMs = def.MaxP95WaitMs
+	}
+	if base.MaxP99WaitMs == 0 {
+		base.MaxP99WaitMs = def.MaxP99WaitMs
+	}
+	if base.MaxP95ServiceMs == 0 {
+		base.MaxP95ServiceMs = def.MaxP95ServiceMs
+	}
+	if base.MaxP99ServiceMs == 0 {
+		base.MaxP99ServiceMs = def.MaxP99ServiceMs
+	}
+	if base.MinThroughput == 0 {
+		base.MinThroughput = def.MinThroughput
+	}
+	if base.MinCrossTenantWarm == 0 {
+		base.MinCrossTenantWarm = def.MinCrossTenantWarm
+	}
+	if base.MaxRejections == 0 {
+		base.MaxRejections = def.MaxRejections
+	}
+	return base
 }
 
 // LoadConfig drives one seeded load-generator run against an
@@ -79,6 +134,14 @@ type LoadConfig struct {
 	ChaosProfile string
 	// CacheDir persists the shared decision cache ("" = in-memory).
 	CacheDir string
+	// Members, when non-empty, turns on the elastic-membership layer:
+	// jobs split into per-node chunks apportioned by weight.
+	Members []Member
+	// Churn is the membership-churn schedule, applied at dispatch
+	// milestones (ParseChurn parses the flag form).
+	Churn []ChurnEvent
+	// Health configures the node health monitor (requires Members).
+	Health HealthConfig
 	// SLO is asserted after the run; failures land in
 	// LoadReport.SLOFailures.
 	SLO SLO
@@ -140,6 +203,16 @@ type LoadReport struct {
 	DispatchHash    string         `json:"dispatch_hash"`
 	TenantJobs      map[string]int `json:"tenant_jobs"`
 	SLOFailures     []string       `json:"slo_failures"`
+	// Membership fields mirror Stats.Membership when the elastic-
+	// membership layer is on (LostIterations must be 0 — exactly-once
+	// accounting across churn is asserted, not hoped for).
+	LostIterations int              `json:"lost_iterations,omitempty"`
+	ChurnApplied   int              `json:"churn_applied,omitempty"`
+	Evictions      int              `json:"evictions,omitempty"`
+	Readmissions   int              `json:"readmissions,omitempty"`
+	Rehomed        int              `json:"rehomed,omitempty"`
+	Reprobes       int              `json:"reprobes,omitempty"`
+	Membership     *MembershipStats `json:"membership,omitempty"`
 	// DeterminismChecked/DeterminismOK report the double-run check
 	// (RunLoadVerified).
 	DeterminismChecked bool `json:"determinism_checked"`
@@ -194,6 +267,10 @@ func RunLoad(cfg LoadConfig) (LoadReport, error) {
 		Weights:          cfg.Weights,
 		StartPaused:      !cfg.NoPreload,
 		Executor:         x,
+		Members:          cfg.Members,
+		Churn:            cfg.Churn,
+		Health:           cfg.Health,
+		Logf:             cfg.Logf,
 	})
 	defer rs.Close()
 
@@ -242,6 +319,15 @@ func RunLoad(cfg LoadConfig) (LoadReport, error) {
 	report.BudgetWindows = st.BudgetWindows
 	report.VirtualSeconds = time.Duration(st.VirtualNs).Seconds()
 	report.DispatchHash = fmt.Sprintf("%016x", st.DispatchHash)
+	if st.Membership != nil {
+		report.Membership = st.Membership
+		report.LostIterations = int(st.Membership.LostIterations)
+		report.ChurnApplied = st.Membership.ChurnApplied
+		report.Evictions = st.Membership.Evictions
+		report.Readmissions = st.Membership.Readmissions
+		report.Rehomed = st.Membership.Rehomed
+		report.Reprobes = st.Membership.Reprobes
+	}
 	if wall > 0 {
 		report.Throughput = float64(st.Completed) / wall.Seconds()
 	}
@@ -260,6 +346,11 @@ func RunLoad(cfg LoadConfig) (LoadReport, error) {
 	logf("hetload: %d jobs in %.2fs (%.1f jobs/s), wait p95 %.2fms, %d cache hits (%d cross-tenant), %d rejections",
 		report.Completed, report.WallSeconds, report.Throughput, report.Wait.P95,
 		report.CacheHits, report.CrossTenantWarm, report.Rejections)
+	if report.Membership != nil {
+		logf("hetload: membership: %d churn events applied, %d chunks rehomed, %d evictions, %d readmissions, %d reprobes, %d lost iterations",
+			report.ChurnApplied, report.Rehomed, report.Evictions, report.Readmissions,
+			report.Reprobes, report.LostIterations)
+	}
 	return report, nil
 }
 
@@ -366,11 +457,20 @@ func CheckSLO(slo SLO, r LoadReport) []string {
 	if r.Failed > 0 {
 		fails = append(fails, fmt.Sprintf("%d jobs failed", r.Failed))
 	}
+	if r.Membership != nil && r.Membership.LostIterations != 0 {
+		fails = append(fails, fmt.Sprintf("membership lost %d iterations, want 0 (exactly-once across churn)", r.Membership.LostIterations))
+	}
 	if slo.MaxP95WaitMs > 0 && r.Wait.P95 > slo.MaxP95WaitMs {
 		fails = append(fails, fmt.Sprintf("wait p95 %.2fms > SLO %.2fms", r.Wait.P95, slo.MaxP95WaitMs))
 	}
+	if slo.MaxP99WaitMs > 0 && r.Wait.P99 > slo.MaxP99WaitMs {
+		fails = append(fails, fmt.Sprintf("wait p99 %.2fms > SLO %.2fms", r.Wait.P99, slo.MaxP99WaitMs))
+	}
 	if slo.MaxP95ServiceMs > 0 && r.Service.P95 > slo.MaxP95ServiceMs {
 		fails = append(fails, fmt.Sprintf("service p95 %.2fms > SLO %.2fms", r.Service.P95, slo.MaxP95ServiceMs))
+	}
+	if slo.MaxP99ServiceMs > 0 && r.Service.P99 > slo.MaxP99ServiceMs {
+		fails = append(fails, fmt.Sprintf("service p99 %.2fms > SLO %.2fms", r.Service.P99, slo.MaxP99ServiceMs))
 	}
 	if slo.MinThroughput > 0 && r.Throughput < slo.MinThroughput {
 		fails = append(fails, fmt.Sprintf("throughput %.1f jobs/s < SLO %.1f", r.Throughput, slo.MinThroughput))

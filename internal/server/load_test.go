@@ -68,18 +68,103 @@ func TestRunLoadBackpressure(t *testing.T) {
 	}
 }
 
-// Chaos-on load still completes every job (ReDecide guards predicted
-// decisions); determinism is not asserted under chaos.
-func TestRunLoadChaos(t *testing.T) {
-	report, err := RunLoad(LoadConfig{
-		Jobs: 20, Tenants: 2, Signatures: 2, Seed: 3,
-		ChaosProfile: "link-degrade",
-		SLO:          SLO{MaxRejections: 0},
+// Chaos-on load must meet each named profile's latency budget and
+// rejection bound — not merely complete. Every profile in the
+// ChaosSLOs table gets a run with its own p95/p99 wait+service gates
+// and MaxRejections 0 (preload mode admits everything, so any
+// rejection is a bug, chaos or not). Determinism is not asserted
+// under chaos.
+func TestRunLoadChaosProfileSLOs(t *testing.T) {
+	profiles := []string{"link-degrade", "link-flap", "dsm-loss", "node-straggle", "node-freeze", "mixed"}
+	for _, profile := range profiles {
+		t.Run(profile, func(t *testing.T) {
+			slo, ok := ChaosSLOs(profile)
+			if !ok {
+				t.Fatalf("no latency budget for chaos profile %q", profile)
+			}
+			if slo.MaxP95WaitMs <= 0 || slo.MaxP99WaitMs <= 0 ||
+				slo.MaxP95ServiceMs <= 0 || slo.MaxP99ServiceMs <= 0 {
+				t.Fatalf("budget for %q leaves a latency gate unset: %+v", profile, slo)
+			}
+			report, err := RunLoad(LoadConfig{
+				Jobs: 16, Tenants: 2, Signatures: 2, Seed: 3,
+				ChaosProfile: profile,
+				SLO:          slo, // MaxRejections zero value = none allowed
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if report.Completed != 16 || report.Failed != 0 {
+				t.Fatalf("chaos run: completed=%d failed=%d, want 16/0", report.Completed, report.Failed)
+			}
+			if len(report.SLOFailures) != 0 {
+				t.Fatalf("chaos %s SLO failures: %v", profile, report.SLOFailures)
+			}
+			if report.Rejections != 0 {
+				t.Fatalf("chaos %s: %d rejections in preload mode, want 0", profile, report.Rejections)
+			}
+		})
+	}
+}
+
+// An unknown profile has no budget — the -chaos-slo flag must be able
+// to refuse it.
+func TestChaosSLOsUnknown(t *testing.T) {
+	if _, ok := ChaosSLOs("no-such-profile"); ok {
+		t.Fatal("ChaosSLOs invented a budget for an unknown profile")
+	}
+	if _, ok := ChaosSLOs(""); ok {
+		t.Fatal("ChaosSLOs returned a budget for the empty profile")
+	}
+}
+
+// The full churn story through the load generator: remove a node
+// mid-run, add it back later, under mixed chaos with the profile's
+// latency budget — exactly-once iteration accounting (lost_iterations
+// 0), both churn events applied, zero warm probes for the re-added
+// covered class, and a bit-identical double run.
+func TestRunLoadMembershipChurn(t *testing.T) {
+	members, err := ParseMembers("n0:xeon:1,n1:thunderx:1,n2:thunderx:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	churn, err := ParseChurn("remove:n1@10,add:n1:thunderx:1@25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	slo, _ := ChaosSLOs("mixed")
+	report, err := RunLoadVerified(LoadConfig{
+		Jobs: 40, Tenants: 3, Signatures: 3, Seed: 5,
+		ChaosProfile: "mixed",
+		Members:      members, Churn: churn,
+		Health: HealthConfig{Enabled: true},
+		SLO:    slo,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if report.Completed != 20 || report.Failed != 0 {
-		t.Fatalf("chaos run: completed=%d failed=%d, want 20/0", report.Completed, report.Failed)
+	if !report.DeterminismChecked || !report.DeterminismOK {
+		t.Fatalf("churn determinism check failed: %v", report.SLOFailures)
+	}
+	if len(report.SLOFailures) != 0 {
+		t.Fatalf("SLO failures: %v", report.SLOFailures)
+	}
+	if report.Completed != 40 || report.Failed != 0 {
+		t.Fatalf("completed=%d failed=%d, want 40/0", report.Completed, report.Failed)
+	}
+	if report.Membership == nil {
+		t.Fatal("membership stats missing from report")
+	}
+	if report.LostIterations != 0 {
+		t.Fatalf("lost %d iterations across churn, want 0", report.LostIterations)
+	}
+	if report.ChurnApplied != 2 {
+		t.Fatalf("churn applied %d, want 2", report.ChurnApplied)
+	}
+	if report.Reprobes != 0 {
+		t.Fatalf("re-added covered class triggered %d reprobes, want 0 (warm start)", report.Reprobes)
+	}
+	if report.WarmProbes != 0 {
+		t.Fatalf("warm probes = %d, want 0", report.WarmProbes)
 	}
 }

@@ -1,0 +1,910 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hetmp/internal/apportion"
+)
+
+// This file implements elastic cluster membership (ROADMAP item 2):
+// the RegionServer's executor capacity becomes a set of named node
+// lanes that can be added, cordoned and removed while jobs are in
+// flight. Warm jobs are split into invocation chunks apportioned
+// across serving nodes (internal/apportion, exact by construction);
+// removing a node re-apportions its queued chunks across survivors
+// with exactly-once accounting, and adding a node of a class the
+// decision store has never covered triggers a bounded class-scoped
+// re-probe before the newcomer serves.
+//
+// The determinism contract survives churn through placement
+// neutrality: a chunk's simulated execution is a function of
+// (signature, chunk index, invocation count) — never of the node lane
+// that serves it or the wall-clock moment it runs. Rehoming moves
+// whole chunks without re-splitting, so a job's chunk set — and with
+// it the total virtual time — is fixed at dispatch, and churn applied
+// at dispatch milestones (ChurnEvent.AtDispatch) folds into the
+// dispatch hash at a deterministic position. See DESIGN.md §16.
+
+// Typed membership errors. Carried over rpc as err_kind metadata so
+// remote callers can match with errors.Is.
+var (
+	// ErrUnknownNode rejects operations on a node the membership has
+	// never seen (or has fully removed).
+	ErrUnknownNode = errors.New("server: unknown node")
+	// ErrNodeExists rejects adding a node name that is still present.
+	ErrNodeExists = errors.New("server: node already present")
+	// ErrNodeDraining rejects operations on a node mid-drain.
+	ErrNodeDraining = errors.New("server: node draining")
+	// ErrLastNode refuses a removal/cordon that would leave the server
+	// with no node able to serve.
+	ErrLastNode = errors.New("server: refusing to remove last serving node")
+)
+
+// Member describes one node lane of the elastic membership.
+type Member struct {
+	// Name uniquely identifies the node ("n0").
+	Name string
+	// Class is the node's hardware class ("xeon", "thunderx") —
+	// matched against the decision store's per-entry class coverage to
+	// decide whether a newcomer needs a re-probe.
+	Class string
+	// Weight is the node's apportioning weight. Defaults to 1.
+	Weight float64
+}
+
+// NodeState is a member's lifecycle state.
+type NodeState int
+
+const (
+	// NodeActive serves chunks.
+	NodeActive NodeState = iota
+	// NodeWarming runs its class-scoped re-probes before serving.
+	NodeWarming
+	// NodeProbation serves, but one more breach window evicts it.
+	NodeProbation
+	// NodeCordoned finishes queued chunks but receives no new ones.
+	NodeCordoned
+	// NodeDraining is mid-removal: queue re-apportioned, the running
+	// chunk (if any) completing.
+	NodeDraining
+	// NodeEvicted was removed by the health monitor and awaits
+	// readmission backoff.
+	NodeEvicted
+	// NodeRemoved is gone; the name may be re-added.
+	NodeRemoved
+)
+
+func (st NodeState) String() string {
+	switch st {
+	case NodeActive:
+		return "active"
+	case NodeWarming:
+		return "warming"
+	case NodeProbation:
+		return "probation"
+	case NodeCordoned:
+		return "cordoned"
+	case NodeDraining:
+		return "draining"
+	case NodeEvicted:
+		return "evicted"
+	case NodeRemoved:
+		return "removed"
+	}
+	return fmt.Sprintf("state(%d)", int(st))
+}
+
+// ChurnOp is a membership-churn operation.
+type ChurnOp string
+
+// Churn operations.
+const (
+	ChurnAdd      ChurnOp = "add"
+	ChurnRemove   ChurnOp = "remove"
+	ChurnCordon   ChurnOp = "cordon"
+	ChurnUncordon ChurnOp = "uncordon"
+)
+
+// ChurnEvent is one scheduled membership change, applied by the
+// scheduler when the dispatch count reaches AtDispatch — a virtual
+// milestone, never a wall-clock time, so a churn schedule replays
+// identically and its records fold into the dispatch hash.
+type ChurnEvent struct {
+	AtDispatch int
+	Op         ChurnOp
+	Member     Member // Name always; Class/Weight for ChurnAdd
+}
+
+// ChunkExecutor is the optional executor capability membership uses to
+// run one chunk of a job's invocations under the placement-neutral
+// seed (signature + chunk index). Executors without it fall back to
+// Execute with a reduced invocation count.
+type ChunkExecutor interface {
+	ExecuteChunk(sp Spec, invocations, chunkIndex int) (ExecResult, error)
+}
+
+// ClassWarmer is the optional executor capability behind warm-start:
+// coverage checks against the decision store's per-entry class stamps,
+// and bounded forced re-probes for signatures a new class has never
+// validated.
+type ClassWarmer interface {
+	ClassCovered(class string) bool
+	ReprobeSpecs(class string, limit int) []Spec
+	Reprobe(sp Spec, classes []string) (ExecResult, error)
+}
+
+// chunk is one node lane's share of a job: `invs` invocations of the
+// job's region, simulated under the chunk-index seed.
+type chunk struct {
+	j       *job
+	invs    int
+	index   int    // position in the job's plan — the seed offset
+	planned string // node chosen at dispatch; breach attribution key
+	rehomed bool   // moved off `planned` by churn/eviction
+	// monolithic marks a whole-job chunk (cold prober or collapsed
+	// plan) that runs through Execute, byte-identical to the
+	// membership-free path.
+	monolithic bool
+	res        ExecResult
+	err        error
+}
+
+// memberState is one node lane's live state. All fields are guarded by
+// RegionServer.mu except wake (owned by signalChan/memberLoop).
+type memberState struct {
+	spec     Member
+	state    NodeState
+	queue    []*chunk
+	running  bool
+	reprobes []Spec
+	wake     chan struct{} // 1-buffered worker wakeup
+
+	// Health-monitor state.
+	score     int
+	evictions int
+	evictedAt int // applied-job count at the last eviction
+
+	stats NodeStats
+}
+
+// NodeStats is one member node's accounting snapshot.
+type NodeStats struct {
+	Class        string  `json:"class"`
+	Weight       float64 `json:"weight"`
+	State        string  `json:"state"`
+	Score        int     `json:"score"`
+	QueueDepth   int     `json:"queue_depth"`
+	Chunks       int     `json:"chunks"`
+	Monolithic   int     `json:"monolithic"`
+	Invocations  int64   `json:"invocations"`
+	Rehomed      int     `json:"rehomed"`
+	Reprobes     int     `json:"reprobes"`
+	Breaches     int     `json:"breaches"`
+	Evictions    int     `json:"evictions"`
+	Readmissions int     `json:"readmissions"`
+}
+
+// MembershipStats is the membership layer's snapshot: per-node
+// accounting plus the cluster-wide churn/health counters the SLO gates
+// read (LostIterations must stay 0 — the exactly-once assertion).
+type MembershipStats struct {
+	Nodes            map[string]NodeStats `json:"nodes"`
+	ChurnApplied     int                  `json:"churn_applied"`
+	Rehomed          int                  `json:"rehomed"`
+	Probations       int                  `json:"probations"`
+	Evictions        int                  `json:"evictions"`
+	Readmissions     int                  `json:"readmissions"`
+	Reprobes         int                  `json:"reprobes"`
+	ReprobeVirtualNs int64                `json:"reprobe_virtual_ns"`
+	LostIterations   int64                `json:"lost_iterations"`
+	HealthHash       uint64               `json:"health_hash"`
+	Transitions      []string             `json:"transitions,omitempty"`
+}
+
+// signalChan is the non-blocking wake for a member worker. Callers
+// must not hold s.mu (channel ops under a mutex are a blocking-lock
+// violation); the 1-buffer makes a wake between a worker's unlock and
+// its blocking receive stick.
+func signalChan(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+// initMembership wires the configured members in. Called from New
+// before the scheduler goroutine starts, so the *Locked helpers run
+// without contention.
+func (s *RegionServer) initMembership() {
+	s.members = map[string]*memberState{}
+	s.sigSeen = map[string]bool{}
+	s.churn = s.cfg.Churn
+	s.healthHash = newHashState()
+	s.healthCfg = s.cfg.Health.withDefaults()
+	s.healthOn = s.cfg.Health.Enabled
+	if s.healthOn {
+		s.healthPending = map[int]*healthDelta{}
+	}
+	for _, m := range s.cfg.Members {
+		if err := s.addNodeLocked(m); err != nil {
+			s.logf("server: initial member %s: %v", m.Name, err)
+		}
+	}
+}
+
+// AddNode adds (or re-adds) a node lane. A node of a class the
+// decision store already covers serves immediately — warm-started,
+// zero probes; an uncovered class warms up first through a bounded
+// class-scoped re-probe of stored signatures.
+func (s *RegionServer) AddNode(mem Member) error {
+	s.mu.Lock()
+	if s.members == nil {
+		s.mu.Unlock()
+		return errors.New("server: membership not enabled")
+	}
+	err := s.addNodeLocked(mem)
+	if err == nil {
+		s.memStats.Transitions = append(s.memStats.Transitions, "api:add:"+mem.Name)
+	}
+	s.mu.Unlock()
+	return err
+}
+
+// RemoveNode drains a node: its queued chunks re-apportion across the
+// survivors immediately (exactly-once — whole chunks move, nothing is
+// re-split or re-run), the running chunk completes, then the lane
+// exits. Refuses to remove the last serving node (ErrLastNode).
+func (s *RegionServer) RemoveNode(name string) error {
+	s.mu.Lock()
+	if s.members == nil {
+		s.mu.Unlock()
+		return errors.New("server: membership not enabled")
+	}
+	var wakes []chan struct{}
+	err := s.removeNodeLocked(name, &wakes)
+	if err == nil {
+		s.memStats.Transitions = append(s.memStats.Transitions, "api:remove:"+name)
+	}
+	s.mu.Unlock()
+	for _, w := range wakes {
+		signalChan(w)
+	}
+	return err
+}
+
+// CordonNode stops routing new chunks to a node; queued chunks still
+// run. Refuses to cordon the last serving node.
+func (s *RegionServer) CordonNode(name string) error {
+	s.mu.Lock()
+	if s.members == nil {
+		s.mu.Unlock()
+		return errors.New("server: membership not enabled")
+	}
+	err := s.cordonLocked(name)
+	if err == nil {
+		s.memStats.Transitions = append(s.memStats.Transitions, "api:cordon:"+name)
+	}
+	s.mu.Unlock()
+	return err
+}
+
+// UncordonNode returns a cordoned node to service.
+func (s *RegionServer) UncordonNode(name string) error {
+	s.mu.Lock()
+	if s.members == nil {
+		s.mu.Unlock()
+		return errors.New("server: membership not enabled")
+	}
+	err := s.uncordonLocked(name)
+	if err == nil {
+		s.memStats.Transitions = append(s.memStats.Transitions, "api:uncordon:"+name)
+	}
+	s.mu.Unlock()
+	return err
+}
+
+func (s *RegionServer) addNodeLocked(mem Member) error {
+	if mem.Name == "" || mem.Class == "" {
+		return fmt.Errorf("server: member needs Name and Class")
+	}
+	mem.Class = strings.ToLower(mem.Class)
+	if mem.Weight <= 0 {
+		mem.Weight = 1
+	}
+	old := s.members[mem.Name]
+	if old != nil && old.state != NodeRemoved {
+		return fmt.Errorf("server: node %s: %w", mem.Name, ErrNodeExists)
+	}
+	st := NodeActive
+	var reprobes []Spec
+	if cw, ok := s.exec.(ClassWarmer); ok && !cw.ClassCovered(mem.Class) {
+		reprobes = cw.ReprobeSpecs(mem.Class, s.cfg.ReprobeLimit)
+		if len(reprobes) > 0 {
+			st = NodeWarming
+		}
+	}
+	// Always a fresh memberState: a revived name must not share state
+	// with the old lane's worker goroutine (which exits on its own
+	// wake). Cumulative stats and eviction history carry over so a
+	// remove/add flap cannot reset readmission backoff.
+	m := &memberState{
+		spec:     mem,
+		state:    st,
+		reprobes: reprobes,
+		wake:     make(chan struct{}, 1),
+	}
+	if old != nil {
+		m.stats = old.stats
+		m.evictions = old.evictions
+		m.evictedAt = old.evictedAt
+		signalChan(old.wake) // hasten the old worker's exit
+	} else {
+		s.memberOrder = append(s.memberOrder, mem.Name)
+		sort.Strings(s.memberOrder)
+	}
+	m.stats.Class = mem.Class
+	m.stats.Weight = mem.Weight
+	s.members[mem.Name] = m
+	s.memberWG.Add(1)
+	go s.memberLoop(m)
+	s.logf("server: node %s (%s, weight %g) joined %s", mem.Name, mem.Class, mem.Weight, st)
+	return nil
+}
+
+func (s *RegionServer) removeNodeLocked(name string, wakes *[]chan struct{}) error {
+	m := s.members[name]
+	if m == nil || m.state == NodeRemoved {
+		return fmt.Errorf("server: node %s: %w", name, ErrUnknownNode)
+	}
+	if m.state == NodeDraining {
+		return fmt.Errorf("server: node %s: %w", name, ErrNodeDraining)
+	}
+	if s.othersServingLocked(m) == 0 {
+		return fmt.Errorf("server: node %s: %w", name, ErrLastNode)
+	}
+	m.state = NodeDraining
+	m.reprobes = nil
+	s.rehomeLocked(m, wakes)
+	*wakes = append(*wakes, m.wake)
+	s.logf("server: node %s draining", name)
+	return nil
+}
+
+func (s *RegionServer) cordonLocked(name string) error {
+	m := s.members[name]
+	if m == nil || m.state == NodeRemoved {
+		return fmt.Errorf("server: node %s: %w", name, ErrUnknownNode)
+	}
+	switch m.state {
+	case NodeCordoned:
+		return nil // idempotent
+	case NodeDraining:
+		return fmt.Errorf("server: node %s: %w", name, ErrNodeDraining)
+	case NodeActive, NodeProbation, NodeWarming:
+		if s.othersServingLocked(m) == 0 {
+			return fmt.Errorf("server: node %s: %w", name, ErrLastNode)
+		}
+		m.state = NodeCordoned
+		m.reprobes = nil
+		s.logf("server: node %s cordoned", name)
+		return nil
+	}
+	return fmt.Errorf("server: node %s: cannot cordon from state %s", name, m.state)
+}
+
+func (s *RegionServer) uncordonLocked(name string) error {
+	m := s.members[name]
+	if m == nil || m.state == NodeRemoved {
+		return fmt.Errorf("server: node %s: %w", name, ErrUnknownNode)
+	}
+	switch m.state {
+	case NodeActive:
+		return nil // idempotent
+	case NodeCordoned:
+		m.state = NodeActive
+		s.logf("server: node %s uncordoned", name)
+		return nil
+	}
+	return fmt.Errorf("server: node %s: cannot uncordon from state %s", name, m.state)
+}
+
+// othersServingLocked counts members other than m that could serve
+// (now or after warming) — the last-node guard's survivor count.
+func (s *RegionServer) othersServingLocked(m *memberState) int {
+	n := 0
+	for _, name := range s.memberOrder {
+		o := s.members[name]
+		if o == m {
+			continue
+		}
+		switch o.state {
+		case NodeActive, NodeProbation, NodeWarming, NodeCordoned:
+			n++
+		}
+	}
+	return n
+}
+
+// eligibleLocked returns the nodes a new plan may target, in sorted
+// name order. Serving nodes (active/probation) are preferred; when
+// none exist the selection degrades to warming nodes (their chunks
+// queue behind the re-probes), then cordoned ones, so the guarded
+// invariant "at least one member can serve" keeps plans non-empty.
+func (s *RegionServer) eligibleLocked() []*memberState {
+	pick := func(states ...NodeState) []*memberState {
+		var out []*memberState
+		for _, name := range s.memberOrder {
+			m := s.members[name]
+			for _, st := range states {
+				if m.state == st {
+					out = append(out, m)
+					break
+				}
+			}
+		}
+		return out
+	}
+	if out := pick(NodeActive, NodeProbation); len(out) > 0 {
+		return out
+	}
+	if out := pick(NodeWarming); len(out) > 0 {
+		return out
+	}
+	return pick(NodeCordoned)
+}
+
+// planLocked builds a job's chunk plan at dispatch time. The first
+// dispatch of a signature runs monolithic on one node (cold probing is
+// a whole-job affair — byte-identical to the membership-free path);
+// later dispatches split invocations across the eligible nodes by
+// weight. The plan — chunk count, sizes, indices — depends only on the
+// eligible set at dispatch d, which is itself deterministic under a
+// churn schedule, never on completion timing.
+func (s *RegionServer) planLocked(j *job, d int) {
+	elig := s.eligibleLocked()
+	if len(elig) == 0 {
+		return // defensive; guards keep this unreachable
+	}
+	j.dispatchIdx = d
+	j.invsPlanned = j.spec.Invocations
+	j.chunkDone = make(chan struct{})
+	if !s.sigSeen[j.sig] {
+		s.sigSeen[j.sig] = true
+		node := elig[d%len(elig)]
+		j.plan = []*chunk{{j: j, invs: j.invsPlanned, index: 0, planned: node.spec.Name, monolithic: true}}
+	} else {
+		weights := make([]float64, len(elig))
+		for i, m := range elig {
+			weights[i] = m.spec.Weight
+		}
+		counts := apportion.Split(j.invsPlanned, weights)
+		for i, n := range counts {
+			if n == 0 {
+				continue
+			}
+			j.plan = append(j.plan, &chunk{j: j, invs: n, index: len(j.plan), planned: elig[i].spec.Name})
+		}
+	}
+	j.chunksLeft = len(j.plan)
+}
+
+// runChunks enqueues a planned job's chunks on their node lanes, waits
+// for all of them, and aggregates the result with exactly-once
+// verification (planned vs executed invocations).
+func (s *RegionServer) runChunks(j *job, prober bool) (ExecResult, error) {
+	s.mu.Lock()
+	if prober && (len(j.plan) > 1 || !j.plan[0].monolithic) {
+		// A lane reset (failed prober) handed this chunked job the
+		// prober role. Cold probing must run whole, so the plan
+		// collapses to one monolithic chunk on its first node.
+		first := j.plan[0]
+		j.plan = []*chunk{{j: j, invs: j.invsPlanned, index: 0, planned: first.planned, monolithic: true}}
+		j.chunksLeft = 1
+	}
+	elig := s.eligibleLocked()
+	var wakes []chan struct{}
+	for _, c := range j.plan {
+		target := s.chunkTargetLocked(c, elig)
+		target.queue = append(target.queue, c)
+		wakes = append(wakes, target.wake)
+	}
+	s.mu.Unlock()
+	for _, w := range wakes {
+		signalChan(w)
+	}
+	<-j.chunkDone
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var res ExecResult
+	var err error
+	for _, c := range j.plan {
+		if c.err != nil && err == nil {
+			err = c.err
+		}
+		res.VirtualNs += c.res.VirtualNs
+		res.Faults += c.res.Faults
+		res.Probes += c.res.Probes
+		res.Predictions += c.res.Predictions
+	}
+	if err == nil {
+		if lost := j.invsPlanned - j.invsDone; lost != 0 {
+			n := int64(lost) * int64(j.spec.Iterations)
+			if n < 0 {
+				n = -n
+			}
+			s.memStats.LostIterations += n
+			s.logf("server: job %d lost %d invocations to churn (accounting bug)", j.seq, lost)
+		}
+	}
+	if s.healthOn {
+		// Every membership job posts a delta (empty for monolithic or
+		// failed jobs) so the scheduler's windowed barrier applies them
+		// contiguously in dispatch order.
+		s.healthPending[j.dispatchIdx] = s.healthDeltaLocked(j, err)
+	}
+	return res, err
+}
+
+// chunkTargetLocked routes a chunk to its planned node, or — when the
+// planned node stopped serving between dispatch and enqueue — rehomes
+// it to the least-loaded eligible node. Placement neutrality makes the
+// choice invisible to virtual time.
+func (s *RegionServer) chunkTargetLocked(c *chunk, elig []*memberState) *memberState {
+	if m := s.members[c.planned]; m != nil {
+		for _, e := range elig {
+			if e == m {
+				return m
+			}
+		}
+	}
+	var best *memberState
+	for _, m := range elig {
+		if best == nil || len(m.queue) < len(best.queue) {
+			best = m
+		}
+	}
+	if best == nil {
+		// Guards keep at least one member serving; fall back to the
+		// planned node so the chunk is never dropped.
+		return s.members[c.planned]
+	}
+	c.rehomed = true
+	best.stats.Rehomed++
+	s.memStats.Rehomed++
+	return best
+}
+
+// rehomeLocked re-apportions a victim's queued chunks across the
+// remaining nodes. Whole chunks move — never re-split, never re-run —
+// so each invocation still executes exactly once, and the chunk seeds
+// (signature + index) are unchanged, so total virtual time is too.
+func (s *RegionServer) rehomeLocked(victim *memberState, wakes *[]chan struct{}) {
+	pending := victim.queue
+	victim.queue = nil
+	if len(pending) == 0 {
+		return
+	}
+	var targets []*memberState
+	for _, m := range s.eligibleLocked() {
+		if m != victim {
+			targets = append(targets, m)
+		}
+	}
+	if len(targets) == 0 {
+		// Unreachable under the last-node guards; keep the chunks
+		// rather than lose them.
+		victim.queue = pending
+		return
+	}
+	weights := make([]float64, len(targets))
+	for i, m := range targets {
+		weights[i] = m.spec.Weight
+	}
+	counts := apportion.Split(len(pending), weights)
+	i := 0
+	for k, m := range targets {
+		for n := 0; n < counts[k]; n++ {
+			c := pending[i]
+			i++
+			c.rehomed = true
+			m.queue = append(m.queue, c)
+		}
+		if counts[k] > 0 {
+			m.stats.Rehomed += counts[k]
+			*wakes = append(*wakes, m.wake)
+		}
+	}
+	s.memStats.Rehomed += len(pending)
+	s.logf("server: rehomed %d chunks off %s", len(pending), victim.spec.Name)
+}
+
+// applyChurnLocked applies every scheduled churn event due at dispatch
+// milestone d, folding each application (and its outcome) into the
+// dispatch hash — churn is part of the fingerprinted schedule.
+func (s *RegionServer) applyChurnLocked(d int, wakes *[]chan struct{}) {
+	for s.churnNext < len(s.churn) && s.churn[s.churnNext].AtDispatch <= d {
+		ev := s.churn[s.churnNext]
+		s.churnNext++
+		var err error
+		switch ev.Op {
+		case ChurnAdd:
+			err = s.addNodeLocked(ev.Member)
+		case ChurnRemove:
+			err = s.removeNodeLocked(ev.Member.Name, wakes)
+		case ChurnCordon:
+			err = s.cordonLocked(ev.Member.Name)
+		case ChurnUncordon:
+			err = s.uncordonLocked(ev.Member.Name)
+		default:
+			err = fmt.Errorf("server: unknown churn op %q", ev.Op)
+		}
+		outcome := "ok"
+		if err != nil {
+			outcome = "err"
+			s.logf("server: churn %s %s at d%d: %v", ev.Op, ev.Member.Name, d, err)
+		}
+		rec := fmt.Sprintf("d%d:churn-%s:%s:%s", d, ev.Op, ev.Member.Name, outcome)
+		s.hash.mix(rec)
+		s.dispatchOrder = append(s.dispatchOrder, rec)
+		s.memStats.ChurnApplied++
+		s.memStats.Transitions = append(s.memStats.Transitions, rec)
+	}
+}
+
+// memberLoop is one node lane's worker: it runs re-probes while
+// warming, then serves queued chunks one at a time, and exits once the
+// lane is removed. All channel operations happen outside s.mu.
+func (s *RegionServer) memberLoop(m *memberState) {
+	defer s.memberWG.Done()
+	for {
+		s.mu.Lock()
+		if m.state == NodeRemoved {
+			s.mu.Unlock()
+			return
+		}
+		if m.state == NodeWarming && len(m.reprobes) > 0 {
+			sp := m.reprobes[0]
+			m.reprobes = m.reprobes[1:]
+			m.running = true
+			class := m.spec.Class
+			s.mu.Unlock()
+
+			var res ExecResult
+			var err error
+			if cw, ok := s.exec.(ClassWarmer); ok {
+				res, err = cw.Reprobe(sp, []string{class})
+			}
+
+			s.mu.Lock()
+			m.running = false
+			m.stats.Reprobes++
+			s.memStats.Reprobes++
+			if err != nil {
+				s.logf("server: reprobe %s on %s: %v", sp.Sig(), m.spec.Name, err)
+			} else {
+				// Re-probe time is warm-up overhead, accounted apart
+				// from job virtual time.
+				s.memStats.ReprobeVirtualNs += res.VirtualNs
+			}
+			// Worker-side transitions stay out of the Transitions log:
+			// they happen at wall-clock moments, and the log (like the
+			// health hash) records only virtually-timestamped events.
+			if m.state == NodeWarming && len(m.reprobes) == 0 {
+				m.state = NodeActive
+				s.logf("server: node %s warmed, serving", m.spec.Name)
+			}
+			s.mu.Unlock()
+			continue
+		}
+		if len(m.queue) > 0 {
+			c := m.queue[0]
+			m.queue = m.queue[1:]
+			m.running = true
+			s.mu.Unlock()
+
+			s.executeChunk(c)
+
+			s.mu.Lock()
+			m.running = false
+			m.stats.Chunks++
+			m.stats.Invocations += int64(c.invs)
+			if c.monolithic {
+				m.stats.Monolithic++
+			}
+			if c.err == nil {
+				c.j.invsDone += c.invs
+			}
+			c.j.chunksLeft--
+			var fin chan struct{}
+			if c.j.chunksLeft == 0 {
+				fin = c.j.chunkDone
+			}
+			s.mu.Unlock()
+			if fin != nil {
+				close(fin)
+			}
+			continue
+		}
+		if m.state == NodeDraining {
+			m.state = NodeRemoved
+			s.mu.Unlock()
+			s.logf("server: node %s removed", m.spec.Name)
+			return
+		}
+		wake := m.wake
+		s.mu.Unlock()
+		<-wake
+	}
+}
+
+// executeChunk runs one chunk. Monolithic chunks take the executor's
+// whole-job path (byte-identical cold semantics); split chunks use the
+// chunk-index seed when the executor supports it.
+func (s *RegionServer) executeChunk(c *chunk) {
+	sp := c.j.spec
+	if c.monolithic {
+		c.res, c.err = s.exec.Execute(sp)
+		return
+	}
+	if ce, ok := s.exec.(ChunkExecutor); ok {
+		c.res, c.err = ce.ExecuteChunk(sp, c.invs, c.index)
+		return
+	}
+	sp.Invocations = c.invs
+	c.res, c.err = s.exec.Execute(sp)
+}
+
+// membershipStatsLocked snapshots the membership layer.
+func (s *RegionServer) membershipStatsLocked() *MembershipStats {
+	if s.members == nil {
+		return nil
+	}
+	out := s.memStats
+	out.Transitions = append([]string(nil), s.memStats.Transitions...)
+	out.HealthHash = s.healthHash.h
+	out.Nodes = make(map[string]NodeStats, len(s.members))
+	for _, name := range s.memberOrder {
+		m := s.members[name]
+		ns := m.stats
+		ns.Class = m.spec.Class
+		ns.Weight = m.spec.Weight
+		ns.State = m.state.String()
+		ns.Score = m.score
+		ns.QueueDepth = len(m.queue)
+		out.Nodes[name] = ns
+	}
+	return &out
+}
+
+// ParseMembers parses a member list: "name:class[:weight],..."
+// (e.g. "n0:xeon:1,n1:thunderx:1,n2:thunderx:1").
+func ParseMembers(s string) ([]Member, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []Member
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		f := strings.Split(part, ":")
+		if len(f) < 2 || len(f) > 3 {
+			return nil, fmt.Errorf("server: member %q: want name:class[:weight]", part)
+		}
+		m := Member{Name: strings.TrimSpace(f[0]), Class: strings.ToLower(strings.TrimSpace(f[1])), Weight: 1}
+		if m.Name == "" || m.Class == "" {
+			return nil, fmt.Errorf("server: member %q: empty name or class", part)
+		}
+		if len(f) == 3 {
+			w, err := strconv.ParseFloat(strings.TrimSpace(f[2]), 64)
+			if err != nil || w <= 0 {
+				return nil, fmt.Errorf("server: member %q: bad weight", part)
+			}
+			m.Weight = w
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// ParseChurn parses a churn schedule: "op:args@dispatch,..." where op
+// is add (args = member spec), remove, cordon or uncordon (args = node
+// name); e.g. "remove:n1@30,add:n1:thunderx:1@70". Events are ordered
+// by dispatch milestone (stable for ties).
+func ParseChurn(s string) ([]ChurnEvent, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []ChurnEvent
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		body, at, ok := strings.Cut(part, "@")
+		if !ok {
+			return nil, fmt.Errorf("server: churn %q: missing @dispatch", part)
+		}
+		d, err := strconv.Atoi(strings.TrimSpace(at))
+		if err != nil || d < 0 {
+			return nil, fmt.Errorf("server: churn %q: bad dispatch milestone", part)
+		}
+		opStr, rest, ok := strings.Cut(body, ":")
+		if !ok {
+			return nil, fmt.Errorf("server: churn %q: want op:node", part)
+		}
+		ev := ChurnEvent{AtDispatch: d, Op: ChurnOp(strings.TrimSpace(opStr))}
+		switch ev.Op {
+		case ChurnAdd:
+			ms, merr := ParseMembers(rest)
+			if merr != nil || len(ms) != 1 {
+				return nil, fmt.Errorf("server: churn %q: bad member spec", part)
+			}
+			ev.Member = ms[0]
+		case ChurnRemove, ChurnCordon, ChurnUncordon:
+			ev.Member = Member{Name: strings.TrimSpace(rest)}
+			if ev.Member.Name == "" {
+				return nil, fmt.Errorf("server: churn %q: empty node name", part)
+			}
+		default:
+			return nil, fmt.Errorf("server: churn %q: unknown op %q", part, opStr)
+		}
+		out = append(out, ev)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].AtDispatch < out[j].AtDispatch })
+	return out, nil
+}
+
+// specFromSig reconstructs a runnable Spec from a stored decision key
+// (Sig's "region/i%d/k%g/p%d" format) — re-probe scheduling reads keys
+// back from the store, which holds only signatures.
+func specFromSig(sig string) (Spec, bool) {
+	parts := strings.Split(sig, "/")
+	if len(parts) < 4 {
+		return Spec{}, false
+	}
+	n := len(parts)
+	iters, ok1 := atoiPrefixed(parts[n-3], "i")
+	ops, ok2 := atofPrefixed(parts[n-2], "k")
+	pages, ok3 := atoiPrefixed(parts[n-1], "p")
+	if !ok1 || !ok2 || !ok3 {
+		return Spec{}, false
+	}
+	sp := Spec{
+		Region:     strings.Join(parts[:n-3], "/"),
+		Iterations: iters,
+		OpsPerByte: ops,
+		Pages:      pages,
+	}
+	return sp.withDefaults(), true
+}
+
+func atoiPrefixed(s, prefix string) (int, bool) {
+	rest, ok := strings.CutPrefix(s, prefix)
+	if !ok {
+		return 0, false
+	}
+	v, err := strconv.Atoi(rest)
+	if err != nil || v <= 0 {
+		return 0, false
+	}
+	return v, true
+}
+
+func atofPrefixed(s, prefix string) (float64, bool) {
+	rest, ok := strings.CutPrefix(s, prefix)
+	if !ok {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil || v <= 0 {
+		return 0, false
+	}
+	return v, true
+}

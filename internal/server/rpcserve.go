@@ -16,17 +16,68 @@ const (
 	TaskStats  = "hetmp.stats"
 	TaskResume = "hetmp.resume"
 	TaskDrain  = "hetmp.drain"
+	// Membership control plane: elastic add/remove/cordon/uncordon of
+	// serving nodes on a live daemon.
+	TaskNodeAdd      = "hetmp.node-add"
+	TaskNodeRemove   = "hetmp.node-remove"
+	TaskNodeCordon   = "hetmp.node-cordon"
+	TaskNodeUncordon = "hetmp.node-uncordon"
 )
 
-// Error-kind tags carried in response metadata so typed admission
-// errors survive the wire (an rpc remote error is a string; the tag
-// maps it back).
+// Error-kind tags carried in response metadata so typed admission and
+// membership errors survive the wire (an rpc remote error is a
+// string; the tag maps it back).
 const (
-	errKindKey      = "err_kind"
-	errKindFull     = "queue_full"
-	errKindDraining = "draining"
-	errKindStopped  = "stopped"
+	errKindKey          = "err_kind"
+	errKindFull         = "queue_full"
+	errKindDraining     = "draining"
+	errKindStopped      = "stopped"
+	errKindUnknownNode  = "unknown_node"
+	errKindNodeExists   = "node_exists"
+	errKindNodeDraining = "node_draining"
+	errKindLastNode     = "last_node"
 )
+
+// errKinds maps the typed sentinel errors to their wire tags (and
+// back). Order matters only for kindOf specificity — all sentinels
+// are distinct, so a linear walk is fine.
+var errKinds = []struct {
+	kind string
+	err  error
+}{
+	{errKindFull, ErrQueueFull},
+	{errKindDraining, ErrDraining},
+	{errKindStopped, ErrStopped},
+	{errKindUnknownNode, ErrUnknownNode},
+	{errKindNodeExists, ErrNodeExists},
+	{errKindNodeDraining, ErrNodeDraining},
+	{errKindLastNode, ErrLastNode},
+}
+
+// kindMeta tags a typed error for the wire; empty map when the error
+// is not one of the sentinels.
+func kindMeta(err error) map[string]string {
+	out := map[string]string{}
+	for _, k := range errKinds {
+		if errors.Is(err, k.err) {
+			out[errKindKey] = k.kind
+			break
+		}
+	}
+	return out
+}
+
+// typedFromKind maps a wire tag back to its sentinel (nil for an
+// unknown or empty tag — the caller falls through to the raw rpc
+// error).
+func typedFromKind(kind string) error {
+	for _, k := range errKinds {
+		if k.kind == kind {
+			return k.err
+		}
+	}
+	return nil
+}
 
 // Bind registers the serving tasks on an rpc.Server. The submit
 // handler blocks until the job completes (the rpc layer runs one
@@ -40,16 +91,7 @@ func Bind(srv *rpc.Server, rs *RegionServer) error {
 		}
 		res, err := rs.Submit(sp)
 		if err != nil {
-			out := map[string]string{}
-			switch {
-			case errors.Is(err, ErrQueueFull):
-				out[errKindKey] = errKindFull
-			case errors.Is(err, ErrDraining):
-				out[errKindKey] = errKindDraining
-			case errors.Is(err, ErrStopped):
-				out[errKindKey] = errKindStopped
-			}
-			return 0, out, err
+			return 0, kindMeta(err), err
 		}
 		if res.Err != nil {
 			return 0, map[string]string{}, res.Err
@@ -72,11 +114,39 @@ func Bind(srv *rpc.Server, rs *RegionServer) error {
 		rs.Drain()
 		return 0, nil, nil
 	}
+	// Membership ops: the node name (and for add, class/weight) ride
+	// the request metadata; typed refusals ride back as err_kind tags.
+	nodeAdd := func(lo, hi int, arg float64, meta map[string]string) (float64, map[string]string, error) {
+		m := Member{Name: meta["node"], Class: meta["class"], Weight: 1}
+		if v := meta["weight"]; v != "" {
+			w, err := strconv.ParseFloat(v, 64)
+			if err != nil || w <= 0 {
+				return 0, nil, fmt.Errorf("server: bad node weight %q", v)
+			}
+			m.Weight = w
+		}
+		if err := rs.AddNode(m); err != nil {
+			return 0, kindMeta(err), err
+		}
+		return 0, nil, nil
+	}
+	nodeOp := func(op func(string) error) rpc.MetaTask {
+		return func(lo, hi int, arg float64, meta map[string]string) (float64, map[string]string, error) {
+			if err := op(meta["node"]); err != nil {
+				return 0, kindMeta(err), err
+			}
+			return 0, nil, nil
+		}
+	}
 	for _, reg := range []struct {
 		name string
 		h    rpc.MetaTask
 	}{
 		{TaskSubmit, submit}, {TaskStats, stats}, {TaskResume, resume}, {TaskDrain, drain},
+		{TaskNodeAdd, nodeAdd},
+		{TaskNodeRemove, nodeOp(rs.RemoveNode)},
+		{TaskNodeCordon, nodeOp(rs.CordonNode)},
+		{TaskNodeUncordon, nodeOp(rs.UncordonNode)},
 	} {
 		if err := srv.Handle(reg.name, reg.h); err != nil {
 			return err
@@ -178,17 +248,50 @@ func resultFromMeta(tenant, region string, meta map[string]string) Result {
 func SubmitRemote(c *rpc.Client, sp Spec, timeout time.Duration) (Result, error) {
 	_, meta, err := c.CallMeta(TaskSubmit, 0, sp.withDefaults().Iterations, 0, specToMeta(sp), timeout)
 	if err != nil {
-		switch meta[errKindKey] {
-		case errKindFull:
-			return Result{}, fmt.Errorf("remote %s/%s: %w", sp.Tenant, sp.Region, ErrQueueFull)
-		case errKindDraining:
-			return Result{}, fmt.Errorf("remote %s/%s: %w", sp.Tenant, sp.Region, ErrDraining)
-		case errKindStopped:
-			return Result{}, fmt.Errorf("remote %s/%s: %w", sp.Tenant, sp.Region, ErrStopped)
+		if typed := typedFromKind(meta[errKindKey]); typed != nil {
+			return Result{}, fmt.Errorf("remote %s/%s: %w", sp.Tenant, sp.Region, typed)
 		}
 		return Result{}, err
 	}
 	return resultFromMeta(sp.Tenant, sp.Region, meta), nil
+}
+
+// AddNodeRemote adds a serving node to a remote daemon's membership.
+// Typed refusals (ErrNodeExists, ...) survive the wire: errors.Is
+// works on the returned error.
+func AddNodeRemote(c *rpc.Client, m Member, timeout time.Duration) error {
+	meta := map[string]string{"node": m.Name, "class": m.Class}
+	if m.Weight > 0 {
+		meta["weight"] = strconv.FormatFloat(m.Weight, 'g', -1, 64)
+	}
+	return nodeOpRemote(c, TaskNodeAdd, m.Name, meta, timeout)
+}
+
+// RemoveNodeRemote drains and removes a remote daemon's node
+// (ErrUnknownNode / ErrNodeDraining / ErrLastNode survive the wire).
+func RemoveNodeRemote(c *rpc.Client, name string, timeout time.Duration) error {
+	return nodeOpRemote(c, TaskNodeRemove, name, map[string]string{"node": name}, timeout)
+}
+
+// CordonNodeRemote cordons a remote daemon's node.
+func CordonNodeRemote(c *rpc.Client, name string, timeout time.Duration) error {
+	return nodeOpRemote(c, TaskNodeCordon, name, map[string]string{"node": name}, timeout)
+}
+
+// UncordonNodeRemote lifts a remote cordon.
+func UncordonNodeRemote(c *rpc.Client, name string, timeout time.Duration) error {
+	return nodeOpRemote(c, TaskNodeUncordon, name, map[string]string{"node": name}, timeout)
+}
+
+func nodeOpRemote(c *rpc.Client, task, name string, meta map[string]string, timeout time.Duration) error {
+	_, out, err := c.CallMeta(task, 0, 0, 0, meta, timeout)
+	if err != nil {
+		if typed := typedFromKind(out[errKindKey]); typed != nil {
+			return fmt.Errorf("remote node %s: %w", name, typed)
+		}
+		return err
+	}
+	return nil
 }
 
 // StatsRemote fetches a Stats snapshot through an rpc.Client.

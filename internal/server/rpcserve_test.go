@@ -112,6 +112,111 @@ func TestRPCQueueFullTyped(t *testing.T) {
 	}
 }
 
+// Membership control plane over the wire: add/remove/cordon/uncordon
+// work on a live daemon, and every typed refusal (ErrNodeExists,
+// ErrUnknownNode, ErrLastNode, ErrNodeDraining) survives the rpc
+// round-trip via its err_kind tag.
+func TestRPCMembershipOps(t *testing.T) {
+	fx := newFakeChunkExec()
+	fx.block = make(chan struct{})
+	rs := New(Config{MaxInFlight: 4, QueueDepth: 16, Executor: fx,
+		Members: []Member{{Name: "n0", Class: "xeon", Weight: 1}, {Name: "n1", Class: "thunderx", Weight: 1}}})
+	defer rs.Close()
+	srv := &rpc.Server{Name: "hetserve-members"}
+	if err := Bind(srv, rs); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ln) }()
+	defer func() {
+		srv.Close()
+		<-served
+	}()
+	c, err := rpc.DialClient(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := AddNodeRemote(c, Member{Name: "n2", Class: "thunderx", Weight: 2}, 5*time.Second); err != nil {
+		t.Fatalf("AddNodeRemote: %v", err)
+	}
+	if err := AddNodeRemote(c, Member{Name: "n2", Class: "thunderx"}, 5*time.Second); !errors.Is(err, ErrNodeExists) {
+		t.Fatalf("duplicate add = %v, want ErrNodeExists", err)
+	}
+	if err := RemoveNodeRemote(c, "ghost", 5*time.Second); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("remove unknown = %v, want ErrUnknownNode", err)
+	}
+	if err := CordonNodeRemote(c, "n1", 5*time.Second); err != nil {
+		t.Fatalf("CordonNodeRemote: %v", err)
+	}
+	if err := UncordonNodeRemote(c, "n1", 5*time.Second); err != nil {
+		t.Fatalf("UncordonNodeRemote: %v", err)
+	}
+
+	// Park a chunk in flight on every node so a removal has to drain —
+	// the second removal of the same node must be a typed
+	// ErrNodeDraining, not a silent dup.
+	var chans []<-chan Result
+	for i := 0; i < 3; i++ {
+		ch, err := rs.SubmitAsync(Spec{Tenant: "a", Region: "r", Invocations: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		chans = append(chans, ch)
+	}
+	// Every worker blocks inside its first chunk, so once three chunk
+	// calls have started all three nodes are busy — n2's drain cannot
+	// finish until the block lifts.
+	waitFor(t, func() bool {
+		fx.mu.Lock()
+		defer fx.mu.Unlock()
+		return fx.chunkCalls >= 3
+	}, "all three node workers to block in a chunk")
+	if err := RemoveNodeRemote(c, "n2", 5*time.Second); err != nil {
+		t.Fatalf("RemoveNodeRemote: %v", err)
+	}
+	if err := RemoveNodeRemote(c, "n2", 5*time.Second); !errors.Is(err, ErrNodeDraining) {
+		t.Fatalf("remove during drain = %v, want ErrNodeDraining", err)
+	}
+	close(fx.block)
+	for _, ch := range chans {
+		if r := <-ch; r.Err != nil {
+			t.Fatalf("job failed: %v", r.Err)
+		}
+	}
+
+	// Drain the survivors down to one: removing the last serving node
+	// must refuse with a typed ErrLastNode.
+	if err := RemoveNodeRemote(c, "n1", 5*time.Second); err != nil {
+		t.Fatalf("remove n1: %v", err)
+	}
+	if err := RemoveNodeRemote(c, "n0", 5*time.Second); !errors.Is(err, ErrLastNode) {
+		t.Fatalf("remove last node = %v, want ErrLastNode", err)
+	}
+	if err := CordonNodeRemote(c, "n0", 5*time.Second); !errors.Is(err, ErrLastNode) {
+		t.Fatalf("cordon last node = %v, want ErrLastNode", err)
+	}
+
+	st, err := StatsRemote(c, 5*time.Second)
+	if err != nil {
+		t.Fatalf("StatsRemote: %v", err)
+	}
+	if st.Membership == nil {
+		t.Fatal("membership stats did not survive the stats round-trip")
+	}
+	if st.Membership.LostIterations != 0 {
+		t.Fatalf("lost %d iterations, want 0", st.Membership.LostIterations)
+	}
+	if _, ok := st.Membership.Nodes["n0"]; !ok {
+		t.Fatalf("membership nodes missing n0: %+v", st.Membership.Nodes)
+	}
+}
+
 func waitInFlight(t *testing.T, rs *RegionServer, want int) {
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)

@@ -148,6 +148,12 @@ type Result struct {
 	// CrossTenantWarm reports a warm run whose cache entry was first
 	// produced by a different tenant — the shared-cache payoff.
 	CrossTenantWarm bool
+	// Chunks is how many membership chunks served the job (0 when the
+	// elastic-membership layer is off).
+	Chunks int
+	// Rehomed is how many of those chunks were moved off their planned
+	// node by churn or eviction.
+	Rehomed int
 	// Err is the executor's error, if any.
 	Err error
 }
@@ -186,6 +192,9 @@ type Stats struct {
 	BudgetWindows   int
 	VirtualNs       int64
 	DispatchHash    uint64
+	// Membership is the elastic-membership snapshot; nil when the
+	// layer is off.
+	Membership *MembershipStats
 }
 
 // Config tunes a RegionServer.
@@ -223,6 +232,23 @@ type Config struct {
 	Telemetry *telemetry.Telemetry
 	// Logf, when non-nil, receives one line per lifecycle event.
 	Logf func(format string, args ...any)
+	// Members, when non-empty, turns on elastic cluster membership:
+	// warm jobs split into invocation chunks apportioned across these
+	// node lanes, and AddNode/RemoveNode/CordonNode (or a Churn
+	// schedule) reshape the set live. Empty keeps the classic
+	// single-executor path, byte-identical to previous releases.
+	Members []Member
+	// Health tunes the membership health monitor (breach scoring,
+	// probation/eviction/readmission). Requires Members; zero value is
+	// disabled.
+	Health HealthConfig
+	// Churn is a deterministic membership-churn schedule, applied by
+	// the scheduler at dispatch milestones and folded into
+	// DispatchHash. Requires Members.
+	Churn []ChurnEvent
+	// ReprobeLimit bounds the class-scoped re-probe a newcomer of an
+	// uncovered class triggers. Defaults to 4 signatures.
+	ReprobeLimit int
 }
 
 type job struct {
@@ -231,6 +257,17 @@ type job struct {
 	seq      int
 	admitted time.Time
 	result   chan Result
+
+	// Membership fields, set by planLocked under s.mu at dispatch:
+	// the chunk plan and its exactly-once accounting. invsPlanned must
+	// equal invsDone when the last chunk completes — the zero-lost-
+	// iterations assertion.
+	plan        []*chunk
+	dispatchIdx int
+	invsPlanned int
+	invsDone    int
+	chunksLeft  int
+	chunkDone   chan struct{}
 }
 
 type tenantState struct {
@@ -275,6 +312,22 @@ type RegionServer struct {
 	dispatchOrder []string
 	totals   Stats
 	idle     []chan struct{} // waiters for the all-drained condition
+
+	// Elastic membership (nil maps when Config.Members is empty).
+	members     map[string]*memberState
+	memberOrder []string // member names, sorted — deterministic iteration
+	sigSeen     map[string]bool
+	churn       []ChurnEvent
+	churnNext   int
+	memStats    MembershipStats
+	memberWG    sync.WaitGroup
+
+	// Health monitor (see health.go).
+	healthOn      bool
+	healthCfg     HealthConfig
+	healthPending map[int]*healthDelta
+	healthApplied int
+	healthHash    hashState
 
 	wake chan struct{}
 	done chan struct{}
@@ -321,6 +374,9 @@ func New(cfg Config) *RegionServer {
 	if cfg.DefaultWeight <= 0 {
 		cfg.DefaultWeight = 1
 	}
+	if cfg.ReprobeLimit <= 0 {
+		cfg.ReprobeLimit = 4
+	}
 	exec := cfg.Executor
 	if exec == nil {
 		exec = NewSimExecutor(SimExecutorConfig{})
@@ -334,6 +390,10 @@ func New(cfg Config) *RegionServer {
 		hash:    newHashState(),
 		wake:    make(chan struct{}, 1),
 		done:    make(chan struct{}),
+	}
+	if len(cfg.Members) > 0 {
+		// Before the scheduler goroutine exists, so no lock is needed.
+		s.initMembership()
 	}
 	go s.schedule()
 	return s
@@ -563,8 +623,24 @@ func (s *RegionServer) schedule() {
 			t *tenantState
 		}
 		var launches []launch
+		var wakes []chan struct{}
 		if !s.paused {
 			for s.inFlight < s.cfg.MaxInFlight {
+				// d is the next dispatch milestone: due churn applies
+				// here (before selection, so eligibility reflects it),
+				// and the health barrier holds the milestone until the
+				// delta of job d−MaxInFlight has been applied — the
+				// windowed barrier that pins transition effect points
+				// at any concurrency level.
+				d := s.totals.Dispatched
+				if s.members != nil {
+					s.applyChurnLocked(d, &wakes)
+					if s.healthOn {
+						if upto := d - s.cfg.MaxInFlight; upto >= 0 && !s.applyHealthUptoLocked(upto, &wakes) {
+							break
+						}
+					}
+				}
 				j, t := s.pickLocked()
 				if j == nil {
 					if s.budgetBlockedLocked() {
@@ -589,11 +665,17 @@ func (s *RegionServer) schedule() {
 				rec := fmt.Sprintf("%d:%s:%s", j.seq, j.spec.Tenant, j.sig)
 				s.hash.mix(rec)
 				s.dispatchOrder = append(s.dispatchOrder, rec)
+				if s.members != nil {
+					s.planLocked(j, d)
+				}
 				launches = append(launches, launch{j, t})
 			}
 		}
 		stopped := s.stopped && s.queued == 0 && s.inFlight == 0
 		s.mu.Unlock()
+		for _, w := range wakes {
+			signalChan(w)
+		}
 		for _, l := range launches {
 			l.t.dispatch.Inc()
 			l.t.depth.Set(float64(queueLen(s, l.t)))
@@ -663,10 +745,12 @@ func (s *RegionServer) laneDone(j *job, ok bool) {
 func (s *RegionServer) runJob(j *job, t *tenantState) {
 	dispatched := time.Now()
 	warmPath := false
+	isProber := false
 	var firstTenant string
 	for {
 		wait, prober, ft := s.acquireLane(j)
 		if prober {
+			isProber = true
 			firstTenant = ft
 			break
 		}
@@ -680,7 +764,13 @@ func (s *RegionServer) runJob(j *job, t *tenantState) {
 		// a failed prober.
 	}
 
-	res, err := s.exec.Execute(j.spec)
+	var res ExecResult
+	var err error
+	if j.plan != nil {
+		res, err = s.runChunks(j, isProber)
+	} else {
+		res, err = s.exec.Execute(j.spec)
+	}
 	if !warmPath {
 		s.laneDone(j, err == nil)
 	}
@@ -701,6 +791,16 @@ func (s *RegionServer) runJob(j *job, t *tenantState) {
 		Err:         err,
 	}
 	r.CrossTenantWarm = r.Warm && firstTenant != "" && firstTenant != j.spec.Tenant
+	if j.plan != nil {
+		// Safe without the lock: every chunk completed before
+		// chunkDone closed, and rehoming only touches queued chunks.
+		r.Chunks = len(j.plan)
+		for _, c := range j.plan {
+			if c.rehomed {
+				r.Rehomed++
+			}
+		}
+	}
 
 	s.mu.Lock()
 	t.inFlight--
@@ -777,7 +877,8 @@ func (s *RegionServer) Drain() {
 	s.logf("server: drained")
 }
 
-// Close drains and stops the scheduler. Idempotent.
+// Close drains and stops the scheduler and any member node lanes.
+// Idempotent.
 func (s *RegionServer) Close() {
 	s.Drain()
 	s.mu.Lock()
@@ -788,6 +889,22 @@ func (s *RegionServer) Close() {
 	if !already {
 		<-s.done
 	}
+	if s.members != nil {
+		s.mu.Lock()
+		var wakes []chan struct{}
+		for _, name := range s.memberOrder {
+			m := s.members[name]
+			if m.state != NodeRemoved {
+				m.state = NodeRemoved
+				wakes = append(wakes, m.wake)
+			}
+		}
+		s.mu.Unlock()
+		for _, w := range wakes {
+			signalChan(w)
+		}
+		s.memberWG.Wait()
+	}
 }
 
 // Stats returns a deep snapshot.
@@ -797,7 +914,8 @@ func (s *RegionServer) Stats() Stats {
 	out := s.totals
 	out.QueueDepth = s.queued
 	out.InFlight = s.inFlight
-	out.DispatchHash = s.hash.h
+	out.DispatchHash = s.combinedHashLocked()
+	out.Membership = s.membershipStatsLocked()
 	out.Tenants = make(map[string]TenantStats, len(s.tenants))
 	for _, name := range s.order {
 		t := s.tenants[name]
@@ -809,12 +927,14 @@ func (s *RegionServer) Stats() Stats {
 }
 
 // DispatchHash fingerprints the dispatch sequence so far (FNV-1a over
-// "seq:tenant:sig" records in dispatch order). Two runs of the same
-// preloaded workload must produce equal hashes.
+// "seq:tenant:sig" records in dispatch order, with churn records
+// interleaved and the health-transition chain folded in when the
+// membership layer is on). Two runs of the same preloaded workload —
+// including its churn schedule — must produce equal hashes.
 func (s *RegionServer) DispatchHash() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.hash.h
+	return s.combinedHashLocked()
 }
 
 // DispatchOrder returns a copy of the dispatch records so far.
