@@ -68,6 +68,15 @@ churn-smoke:
 		-chaos-profile mixed -chaos-slo -verify-determinism \
 		-quiet -json /tmp/hetload_churn.json
 
+# DSM protocol-upgrade smoke: the knob matrix (prefetch / write-diffs /
+# replication, each alone and all-on, 3 seeds x chaos on/off) must
+# leave page states, fault counts and kernel results invariant, and
+# the knob micro-tests must hold their effectiveness floors.
+.PHONY: dsm-smoke
+dsm-smoke:
+	$(GO) test -count=1 -run 'TestKnobMatrixEquivalence|TestPrefetch|TestWriteDiff|TestReplication|TestAccessPagesAllHitEarlyReturn|TestSetTelemetryAfterAlloc|TestSettleResetsKnobState' ./internal/dsm/
+	$(GO) test -count=1 -run 'TestKnobCombosKernelResultsInvariant|TestKnobCountersSurfaceInResults' ./internal/experiments/
+
 # ------------------------------------------------------- benchmarks
 
 BENCH_JSON := BENCH_hetmp.json

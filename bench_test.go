@@ -10,12 +10,17 @@
 package hetmp_test
 
 import (
+	"math"
 	"os"
 	"testing"
+	"time"
 
+	"hetmp/internal/dsm"
 	"hetmp/internal/experiments"
 	"hetmp/internal/interconnect"
+	"hetmp/internal/machine"
 	"hetmp/internal/server"
+	"hetmp/internal/simtime"
 )
 
 // benchSuite builds a fresh suite per benchmark (experiments cache
@@ -276,5 +281,175 @@ func BenchmarkServerThroughput(b *testing.B) {
 		b.ReportMetric(float64(report.WarmProbes), "warm-probes")
 		b.ReportMetric(float64(report.CacheHits), "cache-hits")
 		b.ReportMetric(report.VirtualSeconds, "server-virtual-s")
+	}
+}
+
+// dsmBenchRun builds a fresh DSM space on the scaled paper platform,
+// runs body as the only proc and returns the final per-node stats plus
+// the protocol-upgrade counters. Everything is virtual time on a fixed
+// seed, so every reported metric is deterministic and benchguard pins
+// it exactly.
+func dsmBenchRun(b *testing.B, nodes []machine.NodeSpec, proto interconnect.Spec,
+	pages int64, body func(p *simtime.Proc, reg *dsm.Region)) ([]dsm.NodeStats, dsm.KnobStats) {
+	eng := simtime.NewEngine(1)
+	space, err := dsm.NewSpace(nodes, proto, eng.Rand())
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg, err := space.Alloc("bench", pages*dsm.PageSize, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng.Go("bench", 0, func(p *simtime.Proc) { body(p, reg) })
+	if err := eng.Run(); err != nil {
+		b.Fatal(err)
+	}
+	return space.Stats(), space.KnobStats()
+}
+
+// BenchmarkDSMPrefetch measures the telemetry-driven prefetcher on its
+// home turf: a strided read sweep with compute between pages, so
+// predicted transfers overlap compute. prefetch-hit-rate is the
+// fraction of issued prefetches consumed by later demand faults
+// (benchguard floors it at 0.5); prefetch-stall-saved-frac is the
+// fraction of knob-off fault stall the prefetcher eliminates.
+func BenchmarkDSMPrefetch(b *testing.B) {
+	const pages = 256
+	nodes := machine.PaperPlatform(1).Nodes
+	measure := func(on bool) (time.Duration, dsm.KnobStats) {
+		proto := interconnect.RDMA56()
+		proto.PrefetchFaults = on
+		stats, knobs := dsmBenchRun(b, nodes, proto, pages, func(p *simtime.Proc, reg *dsm.Region) {
+			for pg := int64(0); pg < pages; pg++ {
+				reg.Access(p, 1, pg*dsm.PageSize, dsm.PageSize, false)
+				p.Advance(20 * time.Microsecond)
+			}
+		})
+		return stats[1].Stall, knobs
+	}
+	for i := 0; i < b.N; i++ {
+		off, _ := measure(false)
+		on, knobs := measure(true)
+		if knobs.PrefetchIssued == 0 {
+			b.Fatal("prefetcher never engaged")
+		}
+		b.ReportMetric(knobs.PrefetchHitRate(), "prefetch-hit-rate")
+		b.ReportMetric(float64(off-on)/float64(off), "prefetch-stall-saved-frac")
+		b.ReportMetric(float64(knobs.PrefetchIssued), "prefetch-issued")
+	}
+}
+
+// BenchmarkDSMWriteDiff measures write-diff propagation under false
+// sharing: two nodes ping-pong ownership of the same pages while each
+// writes only a 64-byte slice. diff-bytes-saved-frac is the fraction
+// of transfer bytes the diffs eliminated (benchguard floors it above
+// zero); bytes-in-saved-frac confirms the saving lands in the actual
+// per-node transfer accounting.
+func BenchmarkDSMWriteDiff(b *testing.B) {
+	const pages, rounds = 32, 8
+	nodes := machine.PaperPlatform(1).Nodes
+	measure := func(on bool) (int64, dsm.KnobStats) {
+		proto := interconnect.RDMA56()
+		proto.WriteDiffs = on
+		stats, knobs := dsmBenchRun(b, nodes, proto, pages, func(p *simtime.Proc, reg *dsm.Region) {
+			for r := 0; r < rounds; r++ {
+				for pg := int64(0); pg < pages; pg++ {
+					node := r % 2
+					off := pg*dsm.PageSize + int64(node)*64
+					reg.Access(p, node, off, 64, true)
+					p.Advance(5 * time.Microsecond)
+				}
+			}
+		})
+		var in int64
+		for _, st := range stats {
+			in += st.BytesIn
+		}
+		return in, knobs
+	}
+	for i := 0; i < b.N; i++ {
+		off, _ := measure(false)
+		on, knobs := measure(true)
+		if knobs.DiffBytesSaved == 0 {
+			b.Fatal("diffs never engaged")
+		}
+		b.ReportMetric(knobs.DiffSavedFrac(), "diff-bytes-saved-frac")
+		b.ReportMetric(float64(off-on)/float64(off), "bytes-in-saved-frac")
+	}
+}
+
+// BenchmarkDSMReplication measures read-mostly replication: two reader
+// nodes repeatedly re-read pages a third node occasionally writes.
+// replica-read-hits counts demand faults served from a pushed replica
+// (benchguard floors it at 1); replica-stall-saved-frac is the reader
+// stall the replicas eliminate.
+func BenchmarkDSMReplication(b *testing.B) {
+	const pages, rounds = 32, 6
+	base := machine.PaperPlatform(1).Nodes
+	third := base[1]
+	third.Name = third.Name + "-B"
+	nodes := append(append([]machine.NodeSpec{}, base...), third)
+	measure := func(threshold int) (time.Duration, dsm.KnobStats) {
+		proto := interconnect.RDMA56()
+		proto.ReplicateThreshold = threshold
+		stats, knobs := dsmBenchRun(b, nodes, proto, pages, func(p *simtime.Proc, reg *dsm.Region) {
+			for r := 0; r < rounds; r++ {
+				if r%4 == 0 {
+					reg.Access(p, 0, 0, pages*dsm.PageSize, true)
+					p.Advance(10 * time.Microsecond)
+				}
+				for _, reader := range []int{1, 2} {
+					reg.Access(p, reader, 0, pages*dsm.PageSize, false)
+					p.Advance(10 * time.Microsecond)
+				}
+			}
+		})
+		return stats[1].Stall + stats[2].Stall, knobs
+	}
+	for i := 0; i < b.N; i++ {
+		off, _ := measure(0)
+		on, knobs := measure(2)
+		if knobs.ReplicaPushes == 0 {
+			b.Fatal("replication never engaged")
+		}
+		b.ReportMetric(float64(knobs.ReplicaHits), "replica-read-hits")
+		b.ReportMetric(float64(knobs.ReplicaInvalidations), "replica-invalidations")
+		b.ReportMetric(float64(off-on)/float64(off), "replica-stall-saved-frac")
+	}
+}
+
+// BenchmarkFigure6Knobs reruns a Figure 6 subset under HetProbe with
+// every protocol upgrade on and reports the per-benchmark knobs-on
+// speedup plus its geomean — the headline "the fault bill shrinks"
+// number (deterministic virtual time, pinned exactly by benchguard).
+func BenchmarkFigure6Knobs(b *testing.B) {
+	benches := []string{"blackscholes", "EP-C", "kmeans", "lavaMD", "cfd", "lud"}
+	run := func(on bool) map[string]time.Duration {
+		s := benchSuite()
+		if on {
+			s.Prefetch = true
+			s.WriteDiffs = true
+			s.ReplicateThreshold = 2
+		}
+		out := make(map[string]time.Duration, len(benches))
+		for _, bench := range benches {
+			res, err := s.Run(bench, experiments.CfgHetProbe, interconnect.RDMA56())
+			if err != nil {
+				b.Fatal(err)
+			}
+			out[bench] = res.Time
+		}
+		return out
+	}
+	for i := 0; i < b.N; i++ {
+		off := run(false)
+		on := run(true)
+		logSum := 0.0
+		for _, bench := range benches {
+			sp := float64(off[bench]) / float64(on[bench])
+			b.ReportMetric(sp, bench+"-knobs-speedup-x")
+			logSum += math.Log(sp)
+		}
+		b.ReportMetric(math.Exp(logSum/float64(len(benches))), "knobs-geomean-speedup-x")
 	}
 }

@@ -13,6 +13,11 @@
 //     wall-clock measurements like ns/op: they tolerate
 //     -wall-tolerance (default 50%) drift in either direction and are
 //     skipped entirely under -skip-time.
+//   - a handful of DSM protocol-upgrade metrics additionally carry
+//     absolute effectiveness floors (metricFloors): the candidate
+//     value must clear the floor no matter what the baseline says, so
+//     a change that keeps the upgrades deterministic but makes them
+//     useless still fails.
 //
 // Usage:
 //
@@ -66,6 +71,18 @@ func main() {
 		len(base.Benchmarks), *tolerance*100, *metricTol*100, *skipTime)
 }
 
+// metricFloors pins absolute floors for the DSM protocol-upgrade
+// effectiveness metrics (ISSUE 9 acceptance): the stride prefetcher
+// must consume at least half of what it issues, write diffs must save
+// bytes on the false-sharing benchmark, replication must serve reads,
+// and the all-knobs Figure 6 subset must not get slower overall.
+var metricFloors = map[string]float64{
+	"prefetch-hit-rate":       0.5,
+	"diff-bytes-saved-frac":   1e-12, // strictly positive
+	"replica-read-hits":       1,
+	"knobs-geomean-speedup-x": 1,
+}
+
 func compare(base, cur *benchfmt.File, tolerance, metricTol, wallTol float64, skipTime bool) []string {
 	var failures []string
 	names := make([]string, 0, len(base.Benchmarks))
@@ -94,6 +111,11 @@ func compare(base, cur *benchfmt.File, tolerance, metricTol, wallTol float64, sk
 			cv, ok := c.Metrics[m]
 			if !ok {
 				failures = append(failures, fmt.Sprintf("%s: metric %q missing from current snapshot", name, m))
+				continue
+			}
+			if floor, hasFloor := metricFloors[m]; hasFloor && cv < floor {
+				failures = append(failures, fmt.Sprintf("%s: metric %q = %g below its absolute floor %g",
+					name, m, cv, floor))
 				continue
 			}
 			if strings.HasSuffix(m, "-wall") {

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"hetmp/internal/benchfmt"
+)
+
+func snap(metrics map[string]float64) *benchfmt.File {
+	return &benchfmt.File{Benchmarks: map[string]benchfmt.Bench{
+		"DSMPrefetch": {NsPerOp: 1000, Metrics: metrics},
+	}}
+}
+
+// TestMetricFloors: a floored metric fails when the candidate dips
+// below the absolute floor, even if the baseline agrees with it.
+func TestMetricFloors(t *testing.T) {
+	base := snap(map[string]float64{"prefetch-hit-rate": 0.2})
+	cur := snap(map[string]float64{"prefetch-hit-rate": 0.2})
+	failures := compare(base, cur, 0.2, 0, 0.5, true)
+	if len(failures) != 1 || !strings.Contains(failures[0], "absolute floor") {
+		t.Fatalf("want one floor failure, got %v", failures)
+	}
+
+	base = snap(map[string]float64{"prefetch-hit-rate": 0.9})
+	cur = snap(map[string]float64{"prefetch-hit-rate": 0.9})
+	if failures := compare(base, cur, 0.2, 0, 0.5, true); len(failures) != 0 {
+		t.Fatalf("above-floor exact match should pass, got %v", failures)
+	}
+}
+
+// TestExactMetricStillGuarded: floored metrics remain exact
+// virtual-time metrics — drift above the floor still fails.
+func TestExactMetricStillGuarded(t *testing.T) {
+	base := snap(map[string]float64{"diff-bytes-saved-frac": 0.9})
+	cur := snap(map[string]float64{"diff-bytes-saved-frac": 0.8})
+	failures := compare(base, cur, 0.2, 0, 0.5, true)
+	if len(failures) != 1 || !strings.Contains(failures[0], "drifted") {
+		t.Fatalf("want one drift failure, got %v", failures)
+	}
+}

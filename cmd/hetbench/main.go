@@ -35,6 +35,10 @@ func main() {
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "max experiment runs in flight; results are byte-identical to -parallel 1")
 		batch    = flag.Bool("batch-faults", false, "enable the DSM's batched-fault protocol in every run and in calibration")
 
+		prefetch   = flag.Bool("dsm-prefetch", false, "enable the DSM's telemetry-driven stride prefetcher")
+		writeDiffs = flag.Bool("dsm-write-diffs", false, "ship per-page dirty-byte diffs instead of whole pages where possible")
+		replicate  = flag.Int("dsm-replicate-threshold", 0, "replicate read-mostly pages once their read/write fault ratio reaches this threshold (0 disables)")
+
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole evaluation to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile (post-GC, at exit) to this file")
 
@@ -47,7 +51,8 @@ func main() {
 	flag.Parse()
 	stop, err := profiling.Start(*cpuProfile, *memProfile)
 	if err == nil {
-		err = run(*quick, *only, *setup, *scale, *jsonOut, *chaosProfile, *chaosSeed, *parallel, *batch, *decisionStore, *minConfidence)
+		knobs := dsmKnobs{batch: *batch, prefetch: *prefetch, writeDiffs: *writeDiffs, replicate: *replicate}
+		err = run(*quick, *only, *setup, *scale, *jsonOut, *chaosProfile, *chaosSeed, *parallel, knobs, *decisionStore, *minConfidence)
 		if perr := stop(); err == nil {
 			err = perr
 		}
@@ -111,7 +116,15 @@ func writeReport(rep *Report, path string) error {
 	return nil
 }
 
-func run(quick bool, only string, setup bool, scale float64, jsonOut, chaosProfile string, chaosSeed int64, parallel int, batch bool, decisionStore string, minConfidence float64) error {
+// dsmKnobs bundles the DSM protocol flags so they travel together.
+type dsmKnobs struct {
+	batch      bool
+	prefetch   bool
+	writeDiffs bool
+	replicate  int
+}
+
+func run(quick bool, only string, setup bool, scale float64, jsonOut, chaosProfile string, chaosSeed int64, parallel int, knobs dsmKnobs, decisionStore string, minConfidence float64) error {
 	if setup {
 		printSetup()
 		return nil
@@ -126,7 +139,10 @@ func run(quick bool, only string, setup bool, scale float64, jsonOut, chaosProfi
 	s.ChaosProfile = chaosProfile
 	s.ChaosSeed = chaosSeed
 	s.Parallel = parallel
-	s.BatchFaults = batch
+	s.BatchFaults = knobs.batch
+	s.Prefetch = knobs.prefetch
+	s.WriteDiffs = knobs.writeDiffs
+	s.ReplicateThreshold = knobs.replicate
 	s.DecisionStore = decisionStore
 	s.PredictorMinConfidence = minConfidence
 	if chaosProfile != "" {

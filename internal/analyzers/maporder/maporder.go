@@ -180,6 +180,14 @@ func orderSensitiveType(t types.Type) string {
 		if name == "Rand" && (path == "math/rand" || path == "math/rand/v2") {
 			return "seeded *rand.Rand stream"
 		}
+		// DSM regions and spaces draw protocol jitter from the space's
+		// seeded rng (and their access paths consume virtual time), so
+		// touching them in map order — the prefetch predictor's line
+		// buffer and the replica copyset maps are plain Go maps —
+		// reorders those draws by the map seed.
+		if (name == "Region" || name == "Space") && lintutil.HasSegment(path, "dsm") {
+			return "jitter-drawing dsm." + name
+		}
 	}
 	return ""
 }

@@ -8,5 +8,5 @@ import (
 )
 
 func TestMaporder(t *testing.T) {
-	analysistest.Run(t, analysistest.TestData(), maporder.Analyzer, "a", "vt")
+	analysistest.Run(t, analysistest.TestData(), maporder.Analyzer, "a", "vt", "dsmmaps")
 }

@@ -66,3 +66,77 @@ func TestAccessAllocationFree(t *testing.T) {
 		}
 	}
 }
+
+// TestAccessPagesAllHitEarlyReturn pins the gather fast path: when
+// every requested page is already satisfied, AccessPages must return
+// without entering the fault loop — zero faults, zero stall, zero
+// allocations, no virtual time consumed — both with knobs off and with
+// every protocol upgrade enabled (reads; satisfied writes with diffs
+// or prefetch on take the bookkeeping loop instead, still without
+// allocating).
+func TestAccessPagesAllHitEarlyReturn(t *testing.T) {
+	run := func(mutate func(*interconnect.Spec)) (read, write float64) {
+		eng := simtime.NewEngine(1)
+		proto := interconnect.TCPIP()
+		mutate(&proto)
+		nodes := machine.PaperPlatform(1).Nodes
+		space, err := dsm.NewSpace(nodes, proto, eng.Rand())
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg, err := space.Alloc("hit", 64*dsm.PageSize, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pages := make([]int64, 64)
+		for i := range pages {
+			pages[i] = int64(i)
+		}
+		eng.Go("probe", 0, func(p *simtime.Proc) {
+			reg.Access(p, 1, 0, 64*dsm.PageSize, true) // settle at node 1
+			start := p.Now()
+			var res dsm.AccessResult
+			read = testing.AllocsPerRun(100, func() {
+				res = reg.AccessPages(p, 1, pages, false)
+			})
+			if res.Faults != 0 || res.Stall != 0 {
+				t.Errorf("all-hit gather read: faults=%d stall=%v, want zero", res.Faults, res.Stall)
+			}
+			write = testing.AllocsPerRun(100, func() {
+				res = reg.AccessPages(p, 1, pages, true)
+			})
+			if res.Faults != 0 || res.Stall != 0 {
+				t.Errorf("all-hit gather write: faults=%d stall=%v, want zero", res.Faults, res.Stall)
+			}
+			if p.Now() != start {
+				t.Errorf("all-hit gathers advanced virtual time by %v", p.Now()-start)
+			}
+		})
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return read, write
+	}
+	cases := []struct {
+		name   string
+		mutate func(*interconnect.Spec)
+	}{
+		{"knobs-off", func(*interconnect.Spec) {}},
+		{"batch", func(s *interconnect.Spec) { s.BatchFaults = true }},
+		{"all-knobs", func(s *interconnect.Spec) {
+			s.BatchFaults = true
+			s.PrefetchFaults = true
+			s.WriteDiffs = true
+			s.ReplicateThreshold = 2
+		}},
+	}
+	for _, tc := range cases {
+		read, write := run(tc.mutate)
+		if read != 0 {
+			t.Errorf("%s: all-hit gather read allocates %.1f/call, want 0", tc.name, read)
+		}
+		if write != 0 {
+			t.Errorf("%s: all-hit gather write allocates %.1f/call, want 0", tc.name, write)
+		}
+	}
+}

@@ -1,0 +1,549 @@
+// DSM protocol upgrades (DESIGN.md §17): three independently-gated
+// fast paths that attack the fault bill left after PR 4's contiguous
+// batching. Each is a Spec knob defaulting off, and none of them
+// changes page-state semantics — they only change *when data moves*
+// and how many bytes move, so knob-on runs settle to the exact final
+// coherence state (and remote fault counts) of the paper-faithful
+// protocol:
+//
+//   - Telemetry-driven prefetch (Spec.PrefetchFaults): a per-(region,
+//     node) stride detector fed by the demand-fault stream issues one
+//     coalesced background transaction per predicted run. Predicted
+//     pages become usable at readyAt; a demand fault that finds a
+//     fresh prefetched line skips the transfer (and its chaos
+//     exposure) and stalls only until readyAt. Mispredictions are
+//     charged (BytesIn) but never touch page state.
+//
+//   - Write-diff propagation (Spec.WriteDiffs): each page tracks the
+//     current writer's merged dirty-byte interval plus the set of
+//     nodes that held the pre-write content. A transfer back to one of
+//     those holders ships only the interval, falling back to the whole
+//     page above Spec.DiffMaxDensity.
+//
+//   - Read-mostly replication (Spec.ReplicateThreshold): pages whose
+//     read-fault count reaches threshold × (writes + 1) are pushed to
+//     every historical reader outside the copyset. The next demand
+//     read at a pushed node is a local hit; the next write pays an
+//     epoch-numbered invalidation storm (one control message per
+//     replica holder).
+//
+// Determinism: background transfers cost PageFault with a nil rng, so
+// the space's jitter stream is consumed by exactly the same draws as
+// the demand path that remains; all predictor and replica state is a
+// pure function of the access trace, and the per-node push loop walks
+// nodes in ascending index order. Prefetch buffers are maps but are
+// only ever looked up by key — never iterated — on paths that advance
+// virtual time (hetmplint maporder).
+package dsm
+
+import (
+	"fmt"
+	"time"
+
+	"hetmp/internal/interconnect"
+	"hetmp/internal/simtime"
+)
+
+// defaultDiffMaxDensity is the whole-page fallback threshold used when
+// Spec.DiffMaxDensity is left zero: intervals dirtying more than half
+// the page ship the page.
+const defaultDiffMaxDensity = 0.5
+
+// prefetchDegree is how many predicted pages one confirmed stride
+// fetches ahead; prefMinRun is how many equal deltas confirm a stride;
+// prefMaxBuf bounds the per-(region, node) prefetch buffer.
+const (
+	prefetchDegree = 8
+	prefMinRun     = 2
+	prefMaxBuf     = 256
+)
+
+// KnobStats aggregates the activity of the three protocol upgrades
+// across a space. All counters are monotonic within a run.
+type KnobStats struct {
+	// PrefetchIssued/Hits/Wasted count predicted pages fetched, demand
+	// faults served from the buffer, and buffered lines found stale at
+	// demand time.
+	PrefetchIssued int64
+	PrefetchHits   int64
+	PrefetchWasted int64
+	// DiffBytesSent is the payload actually moved by diff transfers;
+	// DiffBytesSaved is the whole-page remainder those transfers
+	// avoided.
+	DiffBytesSent  int64
+	DiffBytesSaved int64
+	// ReplicaPushes/Hits/Invalidations count pages pushed to readers,
+	// demand reads served by a pushed replica, and replicas revoked by
+	// invalidation storms.
+	ReplicaPushes        int64
+	ReplicaHits          int64
+	ReplicaInvalidations int64
+}
+
+// PrefetchHitRate returns hits / issued (0 when nothing was issued).
+func (k KnobStats) PrefetchHitRate() float64 {
+	if k.PrefetchIssued == 0 {
+		return 0
+	}
+	return float64(k.PrefetchHits) / float64(k.PrefetchIssued)
+}
+
+// DiffSavedFrac returns the fraction of would-be page bytes the diff
+// path kept off the wire (0 when no diff transfer happened).
+func (k KnobStats) DiffSavedFrac() float64 {
+	total := k.DiffBytesSent + k.DiffBytesSaved
+	if total == 0 {
+		return 0
+	}
+	return float64(k.DiffBytesSaved) / float64(total)
+}
+
+// KnobStats returns a copy of the space's protocol-upgrade counters.
+func (s *Space) KnobStats() KnobStats { return s.knobStats }
+
+// prefetchLine is one buffered predicted page: usable from readyAt,
+// valid while the page's write version still matches ver.
+type prefetchLine struct {
+	readyAt time.Duration
+	ver     uint32
+}
+
+// prefPredictor is the per-(region, node) stride detector plus its
+// prefetch buffer. The buffer map is keyed by page index and only ever
+// accessed by key.
+type prefPredictor struct {
+	lastPage int64
+	stride   int64
+	runLen   int
+	buf      map[int64]prefetchLine
+}
+
+// diffState tracks one page's dirty-byte interval: [lo, hi) is the
+// merged span written by the current (or, after a downgrade, the most
+// recent) exclusive writer, and prevHolders is the copyset that held
+// the pre-write content — the nodes a diff transfer is valid for.
+// hi == 0 means no interval is recorded.
+type diffState struct {
+	lo, hi      int32
+	prevHolders uint16
+}
+
+// replPage tracks one page's read-mostly replication state. reads and
+// writes saturate; interest accumulates every node that ever
+// read-faulted the page; pushed is the set of nodes currently holding
+// an un-consumed replica (always disjoint from the copyset); epoch
+// numbers the invalidation generations.
+type replPage struct {
+	reads    uint16
+	writes   uint16
+	interest uint16
+	pushed   uint16
+	epoch    uint16
+	readyAt  time.Duration
+}
+
+// regionKnobs holds all per-region fast-path state. A region carries a
+// nil *regionKnobs when every knob is off, so the paper-faithful path
+// pays one pointer test.
+type regionKnobs struct {
+	pref  []prefPredictor // per node; nil unless PrefetchFaults
+	ver   []uint32        // per page write version; nil unless PrefetchFaults
+	diffs []diffState     // per page; nil unless WriteDiffs
+	repl  []replPage      // per page; nil unless ReplicateThreshold > 0
+}
+
+// newRegionKnobs allocates the state the enabled knobs need; it
+// returns nil when every knob is off so the fault paths stay on the
+// one-pointer-test fast path.
+func newRegionKnobs(proto interconnect.Spec, nodes int, pages int64) *regionKnobs {
+	if !proto.PrefetchFaults && !proto.WriteDiffs && proto.ReplicateThreshold <= 0 {
+		return nil
+	}
+	k := &regionKnobs{}
+	if proto.PrefetchFaults {
+		k.pref = make([]prefPredictor, nodes)
+		k.ver = make([]uint32, pages)
+	}
+	if proto.WriteDiffs {
+		k.diffs = make([]diffState, pages)
+	}
+	if proto.ReplicateThreshold > 0 {
+		k.repl = make([]replPage, pages)
+	}
+	return k
+}
+
+// tracksWrites reports whether satisfied writes carry bookkeeping
+// (dirty intervals or page write-versions) — when true, the all-hit
+// gather shortcut must not skip them.
+func (k *regionKnobs) tracksWrites() bool {
+	return k.diffs != nil || k.ver != nil
+}
+
+// noteSatisfiedWrite records a write by the standing exclusive owner:
+// no protocol event fires, but the dirty interval grows and the page's
+// write-version advances so outstanding prefetched lines of the old
+// content cannot be consumed as fresh.
+func (k *regionKnobs) noteSatisfiedWrite(pg int64, lo, hi int32) {
+	if k.diffs != nil {
+		k.markDirty(pg, lo, hi)
+	}
+	if k.ver != nil {
+		k.ver[pg]++
+	}
+}
+
+// markDirty merges [lo, hi) into the page's dirty interval.
+func (k *regionKnobs) markDirty(pg int64, lo, hi int32) {
+	ds := &k.diffs[pg]
+	if ds.hi == 0 {
+		ds.lo, ds.hi = lo, hi
+		return
+	}
+	if lo < ds.lo {
+		ds.lo = lo
+	}
+	if hi > ds.hi {
+		ds.hi = hi
+	}
+}
+
+// settle resets all fast-path state to the post-SettleAt world: dirty
+// intervals cleared, replicas revoked (a new epoch), predictors
+// restarted and their buffers dropped (the settled pages made every
+// buffered line stale anyway).
+func (k *regionKnobs) settle() {
+	for i := range k.ver {
+		k.ver[i]++
+	}
+	for i := range k.diffs {
+		k.diffs[i] = diffState{}
+	}
+	for i := range k.repl {
+		k.repl[i] = replPage{epoch: k.repl[i].epoch + 1}
+	}
+	for i := range k.pref {
+		k.pref[i] = prefPredictor{}
+	}
+}
+
+// pageSpan clips the byte range [offset, offset+length) to page pg and
+// returns it in page-local coordinates. Callers guarantee the range
+// overlaps the page.
+func pageSpan(offset, length, pg int64) (lo, hi int32) {
+	lo64 := offset - pg*PageSize
+	if lo64 < 0 {
+		lo64 = 0
+	}
+	hi64 := offset + length - pg*PageSize
+	if hi64 > PageSize {
+		hi64 = PageSize
+	}
+	return int32(lo64), int32(hi64)
+}
+
+// fastServable reports whether a demand fault at pg by node would be
+// served from locally staged data (a pushed replica or a fresh
+// prefetched line). The batch paths divert such pages through the
+// single-page fault so the staged copy is consumed; the check itself
+// has no side effects. Callers guarantee r.knobs != nil.
+func (r *Region) fastServable(node int, pg int64) bool {
+	k := r.knobs
+	bit := uint16(1) << node
+	if k.repl != nil && k.repl[pg].pushed&bit != 0 {
+		return true
+	}
+	if k.pref != nil {
+		if ln, ok := k.pref[node].buf[pg]; ok && ln.ver == k.ver[pg] {
+			return true
+		}
+	}
+	return false
+}
+
+// serveLocal consumes staged local data (pushed replica first, then the
+// prefetch buffer) for a demand fault at pg. Returning true waives the
+// fault's data transfer and chaos exposure; the caller still performs
+// the full protocol transition and fault accounting, so page-state
+// semantics and fault counts are knob-invariant. Stale prefetched
+// lines are consumed as waste. Callers guarantee r.knobs != nil and
+// needsData.
+func (r *Region) serveLocal(p *simtime.Proc, node int, pg int64, bit uint16) bool {
+	k := r.knobs
+	s := r.space
+	if k.repl != nil {
+		rp := &k.repl[pg]
+		if rp.pushed&bit != 0 {
+			rp.pushed &^= bit
+			if rp.readyAt > p.Now() {
+				p.AdvanceTo(rp.readyAt)
+			}
+			s.knobStats.ReplicaHits++
+			if h := r.tel; h != nil {
+				h.replHits[node].Inc()
+			}
+			return true
+		}
+	}
+	if k.pref != nil {
+		pr := &k.pref[node]
+		if ln, ok := pr.buf[pg]; ok {
+			delete(pr.buf, pg)
+			if ln.ver == k.ver[pg] {
+				if ln.readyAt > p.Now() {
+					p.AdvanceTo(ln.readyAt)
+				}
+				s.knobStats.PrefetchHits++
+				if h := r.tel; h != nil {
+					h.prefHits[node].Inc()
+				}
+				return true
+			}
+			s.knobStats.PrefetchWasted++
+			if h := r.tel; h != nil {
+				h.prefWasted[node].Inc()
+			}
+		}
+	}
+	return false
+}
+
+// prefObserve feeds one demand fault (page pg by node) into the stride
+// detector and issues a prefetch run once the stride is confirmed.
+// Callers guarantee r.knobs.pref != nil.
+func (r *Region) prefObserve(p *simtime.Proc, node int, pg int64) {
+	pr := &r.knobs.pref[node]
+	d := pg - pr.lastPage
+	if d == pr.stride && d != 0 {
+		pr.runLen++
+	} else {
+		pr.stride = d
+		pr.runLen = 1
+	}
+	pr.lastPage = pg
+	if pr.runLen >= prefMinRun && pr.stride != 0 {
+		r.prefIssue(p, node, pr, pg)
+	}
+}
+
+// prefIssue fetches up to prefetchDegree predicted pages beyond pg in
+// one coalesced background transaction (the PR 4 batching model: one
+// requester software path, one owner service, one wire occupancy for
+// the whole payload). The faulting proc is not advanced — the transfer
+// overlaps compute — and the predicted pages become usable at issue
+// time plus the uncontended batched cost. The cost is computed with a
+// nil rng so the space's jitter stream is untouched. Bytes are charged
+// at issue time, so mispredictions stay on the bill.
+func (r *Region) prefIssue(p *simtime.Proc, node int, pr *prefPredictor, pg int64) {
+	k := r.knobs
+	s := r.space
+	bit := uint16(1) << node
+	n := int64(len(r.pages))
+	var picked [prefetchDegree]int64
+	m := 0
+	for i := int64(1); i <= prefetchDegree; i++ {
+		if len(pr.buf)+m >= prefMaxBuf {
+			break
+		}
+		q := pg + i*pr.stride
+		if q < 0 || q >= n {
+			break
+		}
+		st := r.pages[q]
+		if st.writer == int8(node) || st.copyset&bit != 0 {
+			continue
+		}
+		if ln, ok := pr.buf[q]; ok && ln.ver == k.ver[q] {
+			continue
+		}
+		picked[m] = q
+		m++
+	}
+	if m == 0 {
+		return
+	}
+	if pr.buf == nil {
+		pr.buf = make(map[int64]prefetchLine, prefetchDegree)
+	}
+	first := picked[0]
+	owner := r.sourceNode(&r.pages[first])
+	cost := s.proto.PageFault(s.nodes[node], s.nodes[owner], m*PageSize, nil)
+	readyAt := p.Now() + cost.Total()
+	for i := 0; i < m; i++ {
+		q := picked[i]
+		pr.buf[q] = prefetchLine{readyAt: readyAt, ver: k.ver[q]}
+	}
+	s.stats[node].BytesIn += int64(m) * PageSize
+	s.knobStats.PrefetchIssued += int64(m)
+	if h := r.tel; h != nil {
+		h.prefIssued[node].Add(int64(m))
+		h.bytesIn[node].Add(int64(m) * PageSize)
+	}
+}
+
+// transferBytes returns the payload for a demand transfer of pg to the
+// node with the given bit: a member of the recorded pre-write copyset
+// needs only the dirty interval (unless it is denser than the
+// configured fallback threshold); everyone else moves the whole page.
+// Callers guarantee r.knobs.diffs != nil.
+func (r *Region) transferBytes(pg int64, bit uint16, node int) int64 {
+	ds := &r.knobs.diffs[pg]
+	if ds.prevHolders&bit == 0 || ds.hi == 0 {
+		return PageSize
+	}
+	dirty := int64(ds.hi - ds.lo)
+	maxD := r.space.proto.DiffMaxDensity
+	if maxD == 0 {
+		maxD = defaultDiffMaxDensity
+	}
+	if float64(dirty) > maxD*PageSize {
+		return PageSize
+	}
+	s := r.space
+	s.knobStats.DiffBytesSent += dirty
+	s.knobStats.DiffBytesSaved += PageSize - dirty
+	if h := r.tel; h != nil {
+		h.diffSaved[node].Add(PageSize - dirty)
+	}
+	return dirty
+}
+
+// diffOnWrite records the write-acquire of pg by node: the pre-write
+// holders become the diff audience and [lo, hi) starts the new dirty
+// interval. Called before the page state is overwritten. Callers
+// guarantee r.knobs.diffs != nil.
+func (r *Region) diffOnWrite(pg int64, st pageState, lo, hi int32) {
+	prev := st.copyset
+	if st.writer != noWriter {
+		prev |= uint16(1) << st.writer
+	}
+	r.knobs.diffs[pg] = diffState{lo: lo, hi: hi, prevHolders: prev}
+}
+
+// replOnRead records a serviced read fault of pg by node and, once the
+// page's read/write fault ratio reaches the threshold, pushes the page
+// to every historical reader outside the copyset (ascending node
+// order). Pushes are background transfers: no proc time is charged,
+// the replicas become usable at the uncontended transfer cost (nil
+// rng), and the pushed bytes land on the targets' bills immediately.
+// Called after the read transition, so st.copyset includes node.
+// Callers guarantee r.knobs.repl != nil.
+func (r *Region) replOnRead(p *simtime.Proc, node int, pg int64, copyset uint16) {
+	k := r.knobs
+	s := r.space
+	rp := &k.repl[pg]
+	rp.interest |= uint16(1) << node
+	if rp.reads < ^uint16(0) {
+		rp.reads++
+	}
+	// The page is read-mostly once reads/writes reaches the threshold
+	// (a write-free page counts as one write so the ratio is defined).
+	writes := int(rp.writes)
+	if writes == 0 {
+		writes = 1
+	}
+	if int(rp.reads) < s.proto.ReplicateThreshold*writes {
+		return
+	}
+	targets := rp.interest &^ copyset &^ rp.pushed
+	if targets == 0 {
+		return
+	}
+	readyAt := rp.readyAt
+	for t := 0; t < len(s.nodes); t++ {
+		tbit := uint16(1) << t
+		if targets&tbit == 0 {
+			continue
+		}
+		cost := s.proto.PageFault(s.nodes[t], s.nodes[node], PageSize, nil)
+		if at := p.Now() + cost.Total(); at > readyAt {
+			readyAt = at
+		}
+		rp.pushed |= tbit
+		s.stats[t].BytesIn += PageSize
+		s.knobStats.ReplicaPushes++
+		if h := r.tel; h != nil {
+			h.replPushes[t].Inc()
+			h.bytesIn[t].Add(PageSize)
+		}
+	}
+	rp.readyAt = readyAt
+}
+
+// replOnWrite revokes every pushed replica of pages [pg, pg+k) on a
+// write-acquire by node: one invalidation storm — a control message
+// per distinct replica holder across the run, mirroring how batched
+// copyset invalidations are charged — plus an epoch bump per page.
+// Replica holders are not copyset members, so NodeStats.Invalidations
+// is untouched and knob-off fault accounting is preserved; the revoked
+// copies are counted in KnobStats.ReplicaInvalidations instead.
+// Callers guarantee r.knobs.repl != nil.
+func (r *Region) replOnWrite(p *simtime.Proc, node int, pg, kPages int64, proto interconnect.Spec) {
+	k := r.knobs
+	s := r.space
+	var union uint16
+	var revoked int64
+	for i := pg; i < pg+kPages; i++ {
+		rp := &k.repl[i]
+		if rp.pushed != 0 {
+			union |= rp.pushed
+			revoked += int64(popcount16(rp.pushed))
+			rp.pushed = 0
+		}
+		rp.epoch++
+		if rp.writes < ^uint16(0) {
+			rp.writes++
+		}
+	}
+	if revoked == 0 {
+		return
+	}
+	for other := 0; other < len(s.nodes); other++ {
+		if union&(uint16(1)<<other) == 0 {
+			continue
+		}
+		inv := proto.ControlMessage(s.nodes[node], s.nodes[other])
+		p.Advance(inv.Inline)
+		s.handlers[other].Use(p, proto.EffectiveOwnerService(inv.Owner))
+	}
+	s.knobStats.ReplicaInvalidations += revoked
+	if h := r.tel; h != nil {
+		h.replInvals[node].Add(revoked)
+	}
+}
+
+// popcount16 counts set bits in a copyset mask.
+func popcount16(v uint16) int {
+	n := 0
+	for ; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+// checkKnobInvariants extends CheckInvariants to the fast-path state.
+func (r *Region) checkKnobInvariants() error {
+	k := r.knobs
+	if k == nil {
+		return nil
+	}
+	for i, st := range r.pages {
+		if k.repl != nil {
+			set := st.copyset
+			if st.writer != noWriter {
+				set |= uint16(1) << st.writer
+			}
+			if k.repl[i].pushed&set != 0 {
+				return fmt.Errorf("dsm: region %q page %d: pushed replica mask %016b overlaps copyset %016b",
+					r.name, i, k.repl[i].pushed, set)
+			}
+		}
+		if k.diffs != nil {
+			ds := k.diffs[i]
+			if ds.lo < 0 || ds.hi > PageSize || ds.lo > ds.hi {
+				return fmt.Errorf("dsm: region %q page %d: dirty interval [%d,%d) malformed", r.name, i, ds.lo, ds.hi)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,342 @@
+package dsm
+
+import (
+	"testing"
+	"time"
+
+	"hetmp/internal/interconnect"
+	"hetmp/internal/machine"
+	"hetmp/internal/simtime"
+	"hetmp/internal/telemetry"
+)
+
+// knobSpace builds a two-node space over RDMA with the given knob
+// configuration and one 64-page region homed at node 0.
+func knobSpace(t *testing.T, mutate func(*interconnect.Spec)) (*Space, *Region, *simtime.Engine) {
+	t.Helper()
+	eng := simtime.NewEngine(1)
+	proto := interconnect.RDMA56()
+	mutate(&proto)
+	s, err := NewSpace(machine.PaperPlatform(1).Nodes, proto, eng.Rand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Alloc("knob", 64*PageSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, r, eng
+}
+
+func runProc(t *testing.T, eng *simtime.Engine, body func(p *simtime.Proc)) {
+	t.Helper()
+	eng.Go("t", 0, body)
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPrefetchStrideHits drives a sequential read sweep through the
+// prefetcher: after the stride is confirmed, predicted pages must be
+// issued ahead of demand and the demand faults served from the buffer
+// — with fault counts and final page state identical to the knob-off
+// protocol, and strictly less stall.
+func TestPrefetchStrideHits(t *testing.T) {
+	sweep := func(prefetch bool) (KnobStats, []NodeStats, time.Duration) {
+		s, r, eng := knobSpace(t, func(p *interconnect.Spec) { p.PrefetchFaults = prefetch })
+		var stall time.Duration
+		runProc(t, eng, func(p *simtime.Proc) {
+			for pg := int64(0); pg < 64; pg++ {
+				res := r.AccessPage(p, 1, pg, false)
+				stall += res.Stall
+				p.Advance(20 * time.Microsecond) // compute between touches
+			}
+		})
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		return s.KnobStats(), s.Stats(), stall
+	}
+	offK, offStats, offStall := sweep(false)
+	onK, onStats, onStall := sweep(true)
+
+	if offK.PrefetchIssued != 0 {
+		t.Errorf("knob off issued %d prefetches", offK.PrefetchIssued)
+	}
+	if onK.PrefetchIssued == 0 || onK.PrefetchHits == 0 {
+		t.Fatalf("prefetch on: issued=%d hits=%d, want both > 0", onK.PrefetchIssued, onK.PrefetchHits)
+	}
+	if rate := onK.PrefetchHitRate(); rate < 0.5 {
+		t.Errorf("sequential sweep hit rate = %.2f, want >= 0.5 (issued %d, hits %d)",
+			rate, onK.PrefetchIssued, onK.PrefetchHits)
+	}
+	for n := range offStats {
+		if onStats[n].ReadFaults != offStats[n].ReadFaults || onStats[n].WriteFaults != offStats[n].WriteFaults {
+			t.Errorf("node %d fault counts changed: on {r%d w%d}, off {r%d w%d}",
+				n, onStats[n].ReadFaults, onStats[n].WriteFaults, offStats[n].ReadFaults, offStats[n].WriteFaults)
+		}
+	}
+	if onStall >= offStall {
+		t.Errorf("prefetch-on stall %v not below knob-off stall %v", onStall, offStall)
+	}
+}
+
+// TestPrefetchStaleLineWasted invalidates a buffered line with an
+// intervening write: the demand fault must detect the version mismatch,
+// count the line as wasted, and take the full protocol path.
+func TestPrefetchStaleLineWasted(t *testing.T) {
+	s, r, eng := knobSpace(t, func(p *interconnect.Spec) { p.PrefetchFaults = true })
+	runProc(t, eng, func(p *simtime.Proc) {
+		// Confirm the stride at node 1: pages 0, 1, 2 issue prefetches
+		// for pages 3..10.
+		for pg := int64(0); pg < 3; pg++ {
+			r.AccessPage(p, 1, pg, false)
+		}
+		if s.KnobStats().PrefetchIssued == 0 {
+			t.Fatal("no prefetches issued after confirmed stride")
+		}
+		// Node 0 rewrites page 3: the buffered line is now stale.
+		r.AccessPage(p, 0, 3, true)
+		before := s.Stats()[1].BytesIn
+		issuedBefore := s.KnobStats().PrefetchIssued
+		r.AccessPage(p, 1, 3, false)
+		// The demand moves the full page again; the fault also feeds
+		// the predictor, so freshly issued prefetches ride on the bill.
+		issued := s.KnobStats().PrefetchIssued - issuedBefore
+		if got := s.Stats()[1].BytesIn - before; got != PageSize*(1+issued) {
+			t.Errorf("stale-line demand moved %d bytes, want %d (full page + %d prefetched)",
+				got, PageSize*(1+issued), issued)
+		}
+	})
+	k := s.KnobStats()
+	if k.PrefetchWasted == 0 {
+		t.Errorf("stale line not counted wasted: %+v", k)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriteDiffTransfer pins the diff fast path: a holder of the
+// pre-write content re-reading a sparsely-dirtied page receives only
+// the merged dirty interval, while merge growth past the density
+// threshold falls back to the whole page.
+func TestWriteDiffTransfer(t *testing.T) {
+	s, r, eng := knobSpace(t, func(p *interconnect.Spec) { p.WriteDiffs = true })
+	runProc(t, eng, func(p *simtime.Proc) {
+		// Node 1 reads page 0 (whole-page transfer, it has no copy).
+		r.Access(p, 1, 0, 8, false)
+		// Node 0 upgrades and dirties two small spans; the second write
+		// is satisfied and must extend the interval to [0, 128).
+		r.Access(p, 0, 0, 64, true)
+		r.Access(p, 0, 64, 64, true)
+		before := s.Stats()[1].BytesIn
+		// Node 1 held the pre-write content: re-read ships the diff.
+		r.Access(p, 1, 0, 8, false)
+		if got := s.Stats()[1].BytesIn - before; got != 128 {
+			t.Errorf("diff re-read moved %d bytes, want 128", got)
+		}
+	})
+	k := s.KnobStats()
+	if k.DiffBytesSent != 128 || k.DiffBytesSaved != PageSize-128 {
+		t.Errorf("diff accounting = sent %d saved %d, want 128 / %d", k.DiffBytesSent, k.DiffBytesSaved, PageSize-128)
+	}
+	if frac := k.DiffSavedFrac(); frac <= 0 {
+		t.Errorf("DiffSavedFrac = %v, want > 0", frac)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriteDiffDensityFallback dirties more than the density threshold:
+// the transfer must ship the whole page and save nothing.
+func TestWriteDiffDensityFallback(t *testing.T) {
+	s, r, eng := knobSpace(t, func(p *interconnect.Spec) {
+		p.WriteDiffs = true
+		p.DiffMaxDensity = 0.25
+	})
+	runProc(t, eng, func(p *simtime.Proc) {
+		r.Access(p, 1, 0, 8, false)
+		r.Access(p, 0, 0, 2048, true) // half the page > 0.25 threshold
+		before := s.Stats()[1].BytesIn
+		r.Access(p, 1, 0, 8, false)
+		if got := s.Stats()[1].BytesIn - before; got != PageSize {
+			t.Errorf("dense re-read moved %d bytes, want whole page", got)
+		}
+	})
+	if k := s.KnobStats(); k.DiffBytesSaved != 0 {
+		t.Errorf("dense write saved %d bytes, want 0", k.DiffBytesSaved)
+	}
+}
+
+// TestWriteDiffNewReaderWholePage: a node that never held the pre-write
+// content cannot apply a diff and must receive the whole page.
+func TestWriteDiffNewReaderWholePage(t *testing.T) {
+	s, r, eng := knobSpace(t, func(p *interconnect.Spec) { p.WriteDiffs = true })
+	runProc(t, eng, func(p *simtime.Proc) {
+		// Page 1 is owned by node 0; dirty a small span, then node 1 —
+		// which never saw the page — reads it.
+		r.Access(p, 0, PageSize, 64, true)
+		before := s.Stats()[1].BytesIn
+		r.Access(p, 1, PageSize, 8, false)
+		if got := s.Stats()[1].BytesIn - before; got != PageSize {
+			t.Errorf("first-touch read moved %d bytes, want whole page", got)
+		}
+	})
+	if k := s.KnobStats(); k.DiffBytesSent != 0 {
+		t.Errorf("diff shipped to a node outside prevHolders: %+v", k)
+	}
+}
+
+// TestReplicationPushHitInvalidate exercises the full replica life
+// cycle on three nodes: reads past the threshold push the page to the
+// historical reader outside the copyset, the pushed node's next read is
+// a local hit, and the next write revokes the replica with an
+// epoch-numbered storm.
+func TestReplicationPushHitInvalidate(t *testing.T) {
+	eng := simtime.NewEngine(1)
+	proto := interconnect.RDMA56()
+	proto.ReplicateThreshold = 2
+	s, err := NewSpace(threeNodes(), proto, eng.Rand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Alloc("repl", PageSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runProc(t, eng, func(p *simtime.Proc) {
+		// Build read-mostly history: nodes 1 and 2 read (ratio 2/1
+		// reaches the threshold, but both readers are already in the
+		// copyset so there is nobody to push to), node 0 writes, then
+		// node 1 re-reads — now node 2 is the historical reader outside
+		// the copyset and receives the push.
+		r.AccessPage(p, 1, 0, false)
+		if got := s.KnobStats().ReplicaPushes; got != 0 {
+			t.Fatalf("pushed below threshold: %d", got)
+		}
+		r.AccessPage(p, 2, 0, false)
+		if got := s.KnobStats().ReplicaPushes; got != 0 {
+			t.Fatalf("pushed with every reader in the copyset: %d", got)
+		}
+		r.AccessPage(p, 0, 0, true)
+		r.AccessPage(p, 1, 0, false)
+		k := s.KnobStats()
+		if k.ReplicaPushes != 1 {
+			t.Fatalf("replica pushes = %d, want 1 (to node 2)", k.ReplicaPushes)
+		}
+		// Node 2 reads: a local hit, no bytes moved now (they were
+		// charged at push time).
+		before := s.Stats()[2].BytesIn
+		r.AccessPage(p, 2, 0, false)
+		k = s.KnobStats()
+		if k.ReplicaHits != 1 {
+			t.Errorf("replica hits = %d, want 1", k.ReplicaHits)
+		}
+		if got := s.Stats()[2].BytesIn - before; got != 0 {
+			t.Errorf("replica hit moved %d bytes at demand time, want 0", got)
+		}
+		// The hit still performed the protocol transition.
+		if w, cs := r.PageOwner(0); w != -1 || cs&0b100 == 0 {
+			t.Errorf("after replica hit: writer=%d copyset=%03b, want node 2 in shared copyset", w, cs)
+		}
+	})
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A later write revokes outstanding replicas with a storm.
+	eng2 := simtime.NewEngine(2)
+	s2, err := NewSpace(threeNodes(), proto, eng2.Rand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s2.Alloc("repl2", PageSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runProc(t, eng2, func(p *simtime.Proc) {
+		r2.AccessPage(p, 1, 0, false)
+		r2.AccessPage(p, 2, 0, false)
+		r2.AccessPage(p, 0, 0, true)
+		r2.AccessPage(p, 1, 0, false) // pushes to node 2
+		if s2.KnobStats().ReplicaPushes == 0 {
+			t.Fatal("no replica outstanding before the write")
+		}
+		r2.AccessPage(p, 0, 0, true)
+		if got := s2.KnobStats().ReplicaInvalidations; got != 1 {
+			t.Errorf("write over a pushed replica revoked %d copies, want 1", got)
+		}
+		// The revoked replica is gone: node 2's next read is a full
+		// remote fault again.
+		before := s2.Stats()[2].BytesIn
+		r2.AccessPage(p, 2, 0, false)
+		if got := s2.Stats()[2].BytesIn - before; got != PageSize {
+			t.Errorf("post-storm read moved %d bytes, want whole page", got)
+		}
+	})
+	if err := s2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSetTelemetryAfterAlloc is the regression test for the stale-
+// handle bug: regions snapshot the space's telemetry handles at
+// creation, so installing telemetry after Alloc must refresh existing
+// regions — their faults must land in the registry, not in nil
+// handles.
+func TestSetTelemetryAfterAlloc(t *testing.T) {
+	eng := simtime.NewEngine(1)
+	s, err := NewSpace(machine.PaperPlatform(1).Nodes, interconnect.RDMA56(), eng.Rand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Alloc("late", 4*PageSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := telemetry.New(telemetry.Options{})
+	s.SetTelemetry(tel) // after the region exists
+	runProc(t, eng, func(p *simtime.Proc) {
+		r.AccessPage(p, 1, 0, false)
+	})
+	node1 := s.nodes[1].Name
+	got := tel.Metrics().Counter("hetmp_dsm_read_faults_total", telemetry.L("node", node1)).Value()
+	if got != 1 {
+		t.Errorf("read-fault counter after late SetTelemetry = %d, want 1", got)
+	}
+	// Disabling must also propagate (back to nil handles, not stale ones).
+	s.SetTelemetry(nil)
+	if r.tel != nil {
+		t.Error("region still holds telemetry handles after SetTelemetry(nil)")
+	}
+}
+
+// TestSettleResetsKnobState: SettleAt must clear dirty intervals,
+// revoke replicas and stale prefetch lines, so post-settle behavior
+// matches a fresh region.
+func TestSettleResetsKnobState(t *testing.T) {
+	s, r, eng := knobSpace(t, func(p *interconnect.Spec) {
+		p.PrefetchFaults = true
+		p.WriteDiffs = true
+		p.ReplicateThreshold = 2
+	})
+	runProc(t, eng, func(p *simtime.Proc) {
+		for pg := int64(0); pg < 8; pg++ {
+			r.AccessPage(p, 1, pg, false)
+		}
+		r.Access(p, 0, 0, 64, true)
+		r.SettleAt(0)
+		// A diff audience must not survive settling: node 1 re-reads
+		// page 0 and gets the whole page.
+		before := s.Stats()[1].BytesIn
+		r.AccessPage(p, 1, 0, false)
+		if got := s.Stats()[1].BytesIn - before; got != PageSize {
+			t.Errorf("post-settle read moved %d bytes, want whole page", got)
+		}
+	})
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

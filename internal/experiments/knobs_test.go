@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"testing"
+
+	"hetmp/internal/dsm"
+	"hetmp/internal/interconnect"
+)
+
+// knobCombos enumerates the DSM protocol upgrades the suite can apply:
+// each upgrade alone, and all of them together (with batching, the
+// most aggressive configuration).
+func knobCombos() []struct {
+	name   string
+	mutate func(*Suite)
+}{
+	return []struct {
+		name   string
+		mutate func(*Suite)
+	}{
+		{"prefetch", func(s *Suite) { s.Prefetch = true }},
+		{"write-diffs", func(s *Suite) { s.WriteDiffs = true }},
+		{"replicate", func(s *Suite) { s.ReplicateThreshold = 2 }},
+		{"all-on", func(s *Suite) {
+			s.BatchFaults = true
+			s.Prefetch = true
+			s.WriteDiffs = true
+			s.ReplicateThreshold = 2
+		}},
+	}
+}
+
+// TestKnobCombosKernelResultsInvariant is the experiments-level half of
+// the knob-equivalence contract: the protocol upgrades only change when
+// bytes move and what they cost, never what the kernels compute. Every
+// run here has Verify on (Quick's default), so each kernel's numerical
+// check runs after execution — a knob that corrupted data or skipped a
+// coherence transition fails the run outright.
+func TestKnobCombosKernelResultsInvariant(t *testing.T) {
+	for _, combo := range knobCombos() {
+		combo := combo
+		t.Run(combo.name, func(t *testing.T) {
+			t.Parallel()
+			s := Quick()
+			combo.mutate(s)
+			if !s.Verify {
+				t.Fatal("suite must verify kernel results")
+			}
+			for _, bench := range []string{"EP-C", "kmeans"} {
+				res, err := s.Run(bench, CfgHetProbe, interconnect.RDMA56())
+				if err != nil {
+					t.Fatalf("%s under %s: %v", bench, combo.name, err)
+				}
+				if res.Time <= 0 {
+					t.Errorf("%s under %s: non-positive time %v", bench, combo.name, res.Time)
+				}
+			}
+		})
+	}
+}
+
+// TestKnobCountersSurfaceInResults checks the plumbing end to end:
+// counters produced deep in the DSM arrive in the experiment Result,
+// and stay zero when the knobs are off.
+func TestKnobCountersSurfaceInResults(t *testing.T) {
+	base := Quick()
+	off, err := base.Run("blackscholes", CfgHetProbe, interconnect.RDMA56())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Knobs != (dsm.KnobStats{}) {
+		t.Errorf("knobs off: non-zero knob counters %+v", off.Knobs)
+	}
+
+	s := Quick()
+	s.Prefetch = true
+	s.WriteDiffs = true
+	s.ReplicateThreshold = 2
+	on, err := s.Run("blackscholes", CfgHetProbe, interconnect.RDMA56())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Knobs.PrefetchIssued == 0 {
+		t.Error("prefetch on: no prefetches issued for a strided kernel")
+	}
+	if on.Knobs.DiffBytesSaved == 0 && on.Knobs.ReplicaHits == 0 && on.Knobs.PrefetchHits == 0 {
+		t.Errorf("all knobs on: no upgrade ever paid off: %+v", on.Knobs)
+	}
+}

@@ -132,6 +132,11 @@ type LoadConfig struct {
 	MaxRetries int
 	// ChaosProfile runs every job under the named chaos profile.
 	ChaosProfile string
+	// Prefetch, WriteDiffs and ReplicateThreshold pass through to the
+	// executor's DSM protocol knobs (SimExecutorConfig).
+	Prefetch           bool
+	WriteDiffs         bool
+	ReplicateThreshold int
 	// CacheDir persists the shared decision cache ("" = in-memory).
 	CacheDir string
 	// Members, when non-empty, turns on the elastic-membership layer:
@@ -254,12 +259,17 @@ func RunLoad(cfg LoadConfig) (LoadReport, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	x := NewSimExecutor(SimExecutorConfig{Seed: cfg.Seed, ChaosProfile: cfg.ChaosProfile})
+	xcfg := SimExecutorConfig{
+		Seed: cfg.Seed, ChaosProfile: cfg.ChaosProfile,
+		Prefetch: cfg.Prefetch, WriteDiffs: cfg.WriteDiffs, ReplicateThreshold: cfg.ReplicateThreshold,
+	}
+	x := NewSimExecutor(xcfg)
 	store, err := NewCache(cfg.CacheDir, x.Fingerprint())
 	if err != nil {
 		return LoadReport{}, err
 	}
-	x = NewSimExecutor(SimExecutorConfig{Seed: cfg.Seed, ChaosProfile: cfg.ChaosProfile, Store: store})
+	xcfg.Store = store
+	x = NewSimExecutor(xcfg)
 	rs := New(Config{
 		QueueDepth:       cfg.QueueDepth,
 		MaxInFlight:      cfg.MaxInFlight,
