@@ -1,13 +1,21 @@
-// Command hetmplint runs the repo's domain-specific analyzer suite
-// (wallclock, maporder, randsource, telemetryhandle, blockinglock) over
-// the named package patterns, multichecker style.
+// Command hetmplint runs the repo's domain-specific analyzer suite —
+// per-function checks (wallclock, maporder, randsource,
+// telemetryhandle, blockinglock) plus the interprocedural checks
+// (detflow, dsmstate, goroleak, lockorder) — over the named package
+// patterns, multichecker style.
 //
 //	hetmplint ./...
 //	hetmplint -list
 //	hetmplint ./internal/core ./internal/dsm
 //
-// Exit status: 0 when no diagnostics survive //hetmp:allow filtering,
-// 1 when findings are reported, 2 on usage or load/type-check errors.
+// After the suite runs, every //hetmp:allow comment that no analyzer
+// fired on is itself reported as a stale suppression ("staleallow"):
+// an allow whose check no longer fires is hiding nothing and must be
+// deleted, or it will silently mask a future regression at that line.
+//
+// Exit status: 0 when no diagnostics survive //hetmp:allow filtering
+// and no suppression is stale, 1 when findings are reported, 2 on
+// usage or load/type-check errors.
 package main
 
 import (
@@ -56,6 +64,9 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "hetmplint: %v\n", err)
 		return 2
 	}
+	// A suppression only earns its keep while its check still fires:
+	// anything left unfired is reported and fails the run.
+	diags = append(diags, analysis.StaleSuppressions(pkgs)...)
 	for _, d := range diags {
 		fmt.Printf("%s: [%s] %s\n", fset.Position(d.Pos), d.Category, d.Message)
 	}

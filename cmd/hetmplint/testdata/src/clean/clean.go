@@ -19,3 +19,9 @@ func SortedSum(m map[string]int, rng *rand.Rand) int {
 	}
 	return total
 }
+
+// Jitter carries a LIVE suppression: randsource fires here, the allow
+// absorbs it, and the stale-suppression pass must stay quiet.
+func Jitter() int {
+	return rand.Intn(7) //hetmp:allow randsource -- fixture pins the live-suppression path
+}

@@ -34,3 +34,42 @@ func violations(m map[string]int, reg *telemetry.Registry, n *noisy) time.Time {
 
 	return time.Now() // wallclock: wall read in a "core" package
 }
+
+// report carries a virtual-time field: detflow's sink.
+type report struct {
+	VirtualNs int64
+}
+
+// detflowViolation launders a global-rand value through a helper
+// before it lands in virtual time — only the interprocedural summary
+// connects the two.
+func detflowViolation(r *report) {
+	r.VirtualNs = jitter() // detflow: rand value into virtual-time field
+}
+
+func jitter() int64 { return rand.Int63n(100) }
+
+// lockorder: two functions acquire the same two locks in opposite
+// orders; each edge looks fine locally.
+type left struct{ mu sync.Mutex }
+type right struct{ mu sync.Mutex }
+
+func lockLR(l *left, r *right) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r.mu.Lock() // lockorder: left→right edge
+	r.mu.Unlock()
+}
+
+func lockRL(l *left, r *right) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	l.mu.Lock() // lockorder: right→left edge closes the cycle
+	l.mu.Unlock()
+}
+
+// staleSuppression: nothing fires on this line, so the allow itself
+// must be reported as staleallow.
+func staleSuppression() int {
+	return 4 //hetmp:allow wallclock -- left behind after the wall read was removed
+}

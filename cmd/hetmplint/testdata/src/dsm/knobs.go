@@ -1,0 +1,10 @@
+package dsm
+
+// knobSet must stay cost-only; settle reaches a mutation through the
+// helper chain, which only the transitive summary can see.
+type knobSet struct{ settles int }
+
+func (k *knobSet) settle(r *Region) {
+	k.settles++
+	r.evict(0) // dsmstate: knob path reaches a pageState mutation
+}

@@ -1,0 +1,26 @@
+// Package dsm is the dsmstate half of the deliberately bad fixture:
+// its import path carries the "dsm" segment, so the rogue pageState
+// write below must be reported.
+package dsm
+
+type pageState struct {
+	writer  int8
+	copyset uint16
+}
+
+type Region struct {
+	pages []pageState
+}
+
+func Alloc(n int) *Region {
+	pages := make([]pageState, n)
+	for i := range pages {
+		pages[i] = pageState{writer: 0, copyset: 1}
+	}
+	return &Region{pages: pages}
+}
+
+// evict mutates page state outside the sanctioned helpers.
+func (r *Region) evict(pg int) {
+	r.pages[pg] = pageState{} // dsmstate: rogue mutation
+}

@@ -1,0 +1,14 @@
+// Package server is the goroleak half of the deliberately bad
+// fixture: its import path carries the "server" segment, so the
+// unjoinable goroutine below must be reported.
+package server
+
+func leak() {
+	go spin() // goroleak: no completion signal anywhere in spin
+}
+
+func spin() {
+	for i := 0; ; i++ {
+		_ = i
+	}
+}

@@ -29,8 +29,14 @@ type Analyzer struct {
 	// Doc is a one-paragraph description of the invariant enforced.
 	Doc string
 
-	// Run applies the check to one package.
+	// Run applies the check to one package. Exactly one of Run and
+	// RunProgram must be set.
 	Run func(*Pass) error
+
+	// RunProgram applies the check once to the whole loaded program —
+	// the hook interprocedural analyzers use to see across package
+	// boundaries via the Program's function index and call graph.
+	RunProgram func(*ProgramPass) error
 }
 
 // A Pass provides one analyzer with everything it needs to inspect one
@@ -44,6 +50,21 @@ type Pass struct {
 
 	// report receives every diagnostic, before suppression filtering.
 	report func(Diagnostic)
+}
+
+// A ProgramPass provides one interprocedural analyzer with the whole
+// loaded program.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+
+	// report receives every diagnostic, before suppression filtering.
+	report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Category: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
 }
 
 // A Diagnostic is one finding at one source position.

@@ -15,6 +15,7 @@ package analysistest
 
 import (
 	"fmt"
+	"go/token"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -46,6 +47,41 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgNames ...string
 	}
 }
 
+// RunProgram loads the named fixture packages (listed dependency
+// first — later packages may import earlier ones by their fixture
+// paths) as ONE program sharing a FileSet, applies the analyzer once,
+// and compares the surviving diagnostics against want comments across
+// every file of every package. This is the harness for
+// interprocedural analyzers, whose findings in one package can depend
+// on function bodies in another.
+func RunProgram(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	var units []analysis.DirUnit
+	for _, p := range pkgPaths {
+		dir := filepath.Join(testdata, "src", p)
+		units = append(units, analysis.DirUnit{Dir: dir, ImportPath: p, Files: goFilesIn(t, dir, p)})
+	}
+	pkgs, err := analysis.LoadDirs(units)
+	if err != nil {
+		t.Fatalf("fixture program %v: %v", pkgPaths, err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		ws, err := collectWants(pkg)
+		if err != nil {
+			t.Fatalf("fixture package %s: %v", pkg.ImportPath, err)
+		}
+		wants = append(wants, ws...)
+	}
+
+	diags, fset, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on fixture program %v: %v", a.Name, pkgPaths, err)
+	}
+	compare(t, fset, diags, wants)
+}
+
 type expectation struct {
 	file    string
 	line    int
@@ -54,7 +90,7 @@ type expectation struct {
 	matched bool
 }
 
-func runPackage(t *testing.T, dir, importPath string, a *analysis.Analyzer) {
+func goFilesIn(t *testing.T, dir, importPath string) []string {
 	t.Helper()
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -69,6 +105,12 @@ func runPackage(t *testing.T, dir, importPath string, a *analysis.Analyzer) {
 	if len(filenames) == 0 {
 		t.Fatalf("fixture package %s: no Go files in %s", importPath, dir)
 	}
+	return filenames
+}
+
+func runPackage(t *testing.T, dir, importPath string, a *analysis.Analyzer) {
+	t.Helper()
+	filenames := goFilesIn(t, dir, importPath)
 
 	pkg, err := analysis.LoadDir(dir, importPath, filenames)
 	if err != nil {
@@ -84,7 +126,11 @@ func runPackage(t *testing.T, dir, importPath string, a *analysis.Analyzer) {
 	if err != nil {
 		t.Fatalf("running %s on fixture %s: %v", a.Name, importPath, err)
 	}
+	compare(t, fset, diags, wants)
+}
 
+func compare(t *testing.T, fset *token.FileSet, diags []analysis.Diagnostic, wants []*expectation) {
+	t.Helper()
 	for _, d := range diags {
 		pos := fset.Position(d.Pos)
 		if !claim(wants, pos.Filename, pos.Line, d.Message) {

@@ -106,6 +106,54 @@ func LoadDir(dir, importPath string, filenames []string) (*Package, error) {
 	return checkUnit(fset, imp, importPath, dir, filenames)
 }
 
+// A DirUnit names one fixture package for LoadDirs: a directory of Go
+// files and the import path other units in the same call may import
+// it under.
+type DirUnit struct {
+	Dir        string
+	ImportPath string
+	Files      []string
+}
+
+// LoadDirs type-checks several fixture directories as one program
+// sharing a FileSet, in the order given — list dependencies before
+// their importers. Units can import each other by their fixture
+// import paths (a chained importer serves already-checked units and
+// falls back to the source importer for everything else), which is
+// how interprocedural fixtures exercise cross-package flows without
+// living inside the module graph.
+func LoadDirs(units []DirUnit) ([]*Package, error) {
+	fset := token.NewFileSet()
+	chain := &chainedImporter{
+		local:    map[string]*types.Package{},
+		fallback: importer.ForCompiler(fset, "source", nil),
+	}
+	var pkgs []*Package
+	for _, u := range units {
+		pkg, err := checkUnit(fset, chain, u.ImportPath, u.Dir, u.Files)
+		if err != nil {
+			return nil, err
+		}
+		chain.local[u.ImportPath] = pkg.Types
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// chainedImporter serves packages type-checked earlier in a LoadDirs
+// call by import path, deferring to the source importer otherwise.
+type chainedImporter struct {
+	local    map[string]*types.Package
+	fallback types.Importer
+}
+
+func (c *chainedImporter) Import(path string) (*types.Package, error) {
+	if p := c.local[path]; p != nil {
+		return p, nil
+	}
+	return c.fallback.Import(path)
+}
+
 func checkUnit(fset *token.FileSet, imp types.Importer, importPath, dir string, filenames []string) (*Package, error) {
 	sort.Strings(filenames)
 	var files []*ast.File
@@ -145,15 +193,21 @@ func checkUnit(fset *token.FileSet, imp types.Importer, importPath, dir string, 
 	}, nil
 }
 
-// Run applies every analyzer to every package, filters findings through
-// the //hetmp:allow suppression index, and returns the survivors in
-// deterministic (file, line, column, analyzer) order.
+// Run applies every analyzer to every package (per-package analyzers)
+// or once to the whole program (RunProgram analyzers), filters
+// findings through the //hetmp:allow suppression index — recording
+// which suppressions fired, so StaleSuppressions can report the rest —
+// and returns the survivors in deterministic (file, line, column,
+// analyzer) order.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, *token.FileSet, error) {
 	var diags []Diagnostic
 	var fset *token.FileSet
 	for _, pkg := range pkgs {
 		fset = pkg.Fset
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer:  a,
 				Fset:      pkg.Fset,
@@ -170,6 +224,30 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, *token.FileSet, 
 			if err := a.Run(pass); err != nil {
 				return nil, fset, fmt.Errorf("%s on %s: %v", a.Name, pkg.ImportPath, err)
 			}
+		}
+	}
+	var prog *Program
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		if prog == nil {
+			prog = BuildProgram(pkgs)
+			if fset == nil {
+				fset = prog.Fset
+			}
+		}
+		pass := &ProgramPass{Analyzer: a, Prog: prog}
+		pass.report = func(d Diagnostic) {
+			for _, pkg := range pkgs {
+				if pkg.suppress.suppressed(pkg.Fset, d.Pos, d.Category) {
+					return
+				}
+			}
+			diags = append(diags, d)
+		}
+		if err := a.RunProgram(pass); err != nil {
+			return nil, fset, fmt.Errorf("%s: %v", a.Name, err)
 		}
 	}
 	if fset != nil {

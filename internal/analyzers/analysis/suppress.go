@@ -1,8 +1,10 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -21,29 +23,43 @@ import (
 // suppresses, so that a suppression cannot hide in the middle of a
 // commented-out region. The reason text after `--` is free-form but
 // strongly encouraged; reviewers treat a bare suppression as a smell.
+//
+// Each allow entry records which of its checks actually filtered a
+// diagnostic during Run. A check that never fires is a stale
+// suppression — dead armor that would silently swallow a future real
+// finding — and StaleSuppressions reports it as a finding of its own.
 
 const allowKeyword = "hetmp:allow"
 
-// suppressionIndex maps filename -> line -> set of check names allowed
-// on that line.
-type suppressionIndex map[string]map[int]map[string]bool
+// StaleCategory is the pseudo-check name under which stale
+// suppressions are reported. It is not an analyzer and cannot itself
+// be suppressed: the fix for a stale allow is deleting it.
+const StaleCategory = "staleallow"
+
+// allowEntry is one parsed //hetmp:allow comment.
+type allowEntry struct {
+	pos      token.Pos
+	position token.Position // resolved at build time, for sorting
+	checks   []string
+	fired    map[string]bool
+}
+
+// suppressionIndex maps filename -> covered line -> the allow entries
+// whose checks are suppressed on that line.
+type suppressionIndex struct {
+	entries []*allowEntry
+	byLine  map[string]map[int][]*allowEntry
+}
 
 func buildSuppressionIndex(fset *token.FileSet, files []*ast.File) suppressionIndex {
-	idx := suppressionIndex{}
-	mark := func(filename string, line int, checks []string) {
-		byLine := idx[filename]
+	idx := suppressionIndex{byLine: map[string]map[int][]*allowEntry{}}
+	mark := func(filename string, line int, e *allowEntry) {
+		byLine := idx.byLine[filename]
 		if byLine == nil {
-			byLine = map[int]map[string]bool{}
-			idx[filename] = byLine
+			byLine = map[int][]*allowEntry{}
+			idx.byLine[filename] = byLine
 		}
-		set := byLine[line]
-		if set == nil {
-			set = map[string]bool{}
-			byLine[line] = set
-		}
-		for _, name := range checks {
-			set[name] = true
-		}
+		byLine[line] = append(byLine[line], e)
 	}
 	for _, f := range files {
 		codeLines := collectCodeLines(fset, f)
@@ -57,12 +73,19 @@ func buildSuppressionIndex(fset *token.FileSet, files []*ast.File) suppressionIn
 					continue
 				}
 				pos := fset.Position(c.Pos())
+				e := &allowEntry{
+					pos:      c.Pos(),
+					position: pos,
+					checks:   checks,
+					fired:    map[string]bool{},
+				}
+				idx.entries = append(idx.entries, e)
 				if codeLines[pos.Line] {
 					// Trailing comment: covers its own line only.
-					mark(pos.Filename, pos.Line, checks)
+					mark(pos.Filename, pos.Line, e)
 				} else {
 					// Standalone comment line: covers the next line.
-					mark(pos.Filename, pos.Line+1, checks)
+					mark(pos.Filename, pos.Line+1, e)
 				}
 			}
 		}
@@ -113,13 +136,67 @@ func parseAllowComment(text string) []string {
 }
 
 // suppressed reports whether a diagnostic from check at pos is covered
-// by an allow comment (placement already resolved by the index).
+// by an allow comment (placement already resolved by the index), and
+// marks every covering entry as fired for that check.
 func (idx suppressionIndex) suppressed(fset *token.FileSet, pos token.Pos, check string) bool {
 	p := fset.Position(pos)
-	byLine := idx[p.Filename]
+	byLine := idx.byLine[p.Filename]
 	if byLine == nil {
 		return false
 	}
-	set := byLine[p.Line]
-	return set != nil && set[check]
+	hit := false
+	for _, e := range byLine[p.Line] {
+		for _, c := range e.checks {
+			if c == check {
+				e.fired[check] = true
+				hit = true
+			}
+		}
+	}
+	return hit
+}
+
+// StaleSuppressions reports every //hetmp:allow check in the given
+// packages that did not filter a single diagnostic during the
+// preceding Run — the check no longer fires on that line, so the
+// suppression is rot and must be deleted (or the check name fixed).
+// Call it after Run; calling it first reports every suppression.
+func StaleSuppressions(pkgs []*Package) []Diagnostic {
+	type staleItem struct {
+		d Diagnostic
+		p token.Position
+	}
+	var items []staleItem
+	for _, pkg := range pkgs {
+		for _, e := range pkg.suppress.entries {
+			for _, check := range e.checks {
+				if e.fired[check] {
+					continue
+				}
+				items = append(items, staleItem{
+					d: Diagnostic{
+						Pos:      e.pos,
+						Category: StaleCategory,
+						Message:  fmt.Sprintf("stale suppression: check %q no longer fires on this line; delete the //hetmp:allow", check),
+					},
+					p: e.position,
+				})
+			}
+		}
+	}
+	sort.SliceStable(items, func(i, j int) bool {
+		pi, pj := items[i].p, items[j].p
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return items[i].d.Message < items[j].d.Message
+	})
+	out := make([]Diagnostic, len(items))
+	for i, it := range items {
+		out[i] = it.d
+	}
+	return out
 }

@@ -1,0 +1,17 @@
+package detflow_test
+
+import (
+	"testing"
+
+	"hetmp/internal/analyzers/analysis/analysistest"
+	"hetmp/internal/analyzers/detflow"
+)
+
+func TestDetflow(t *testing.T) {
+	analysistest.RunProgram(t, analysistest.TestData(), detflow.Analyzer, "flow")
+}
+
+func TestDetflowCrossPackage(t *testing.T) {
+	analysistest.RunProgram(t, analysistest.TestData(), detflow.Analyzer,
+		"simtime", "xflow/helper", "xflow")
+}

@@ -1,0 +1,74 @@
+// Flagged cases: nondeterministic values reaching virtual-time sinks
+// through helper calls inside one package.
+package flow
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type hashState struct{ h uint64 }
+
+func (hs *hashState) mix(s string) { hs.h = hs.h*31 + uint64(len(s)) }
+
+type report struct {
+	VirtualNs int64
+	WallNs    int64 // not a sink: wall latency is reported by design
+}
+
+// stamp launders a wall-clock read through a helper return value.
+func stamp() string { return time.Now().String() }
+
+func record(hs *hashState) {
+	hs.mix(stamp()) // want `wall-clock value flows into determinism hash hashState\.mix`
+}
+
+func recordVia(hs *hashState) {
+	s := stamp()
+	hs.mix(s) // want `wall-clock value flows into determinism hash hashState\.mix`
+}
+
+// keys accumulates map keys in iteration order: its result carries
+// map-order taint to every caller.
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func fingerprint(hs *hashState, m map[string]int) {
+	for _, k := range keys(m) {
+		hs.mix(k) // want `map-iteration-order value flows into determinism hash hashState\.mix`
+	}
+}
+
+// sortedKeys is the sanctioned idiom: collecting then sorting clears
+// the order taint, so fingerprintSorted is clean.
+func sortedKeys(m map[string]int) []string {
+	out := keys(m)
+	sort.Strings(out)
+	return out
+}
+
+func fingerprintSorted(hs *hashState, m map[string]int) {
+	for _, k := range sortedKeys(m) {
+		hs.mix(k)
+	}
+}
+
+// jitter draws from the global math/rand source two calls away from
+// the sink.
+func jitter() int64 { return rand.Int63n(100) }
+
+func noisy(r *report) {
+	r.VirtualNs = jitter() // want `global math/rand value flows into virtual-time field VirtualNs`
+}
+
+// wallLatency is the legal counterpart: wall-clock values may flow
+// into wall-latency fields, just never into virtual-time state.
+func wallLatency(r *report, start time.Time) {
+	r.WallNs = time.Since(start).Nanoseconds()
+}

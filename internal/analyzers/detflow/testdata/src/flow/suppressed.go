@@ -1,0 +1,13 @@
+// Suppressed cases: the same flows carrying a reasoned //hetmp:allow
+// survive the run silently — the harness runs the real suppression
+// filter, so an unexpectedly surviving diagnostic fails the test.
+package flow
+
+func recordSuppressed(hs *hashState) {
+	hs.mix(stamp()) //hetmp:allow detflow -- debug fingerprint, never verified
+}
+
+func noisySuppressed(r *report) {
+	//hetmp:allow detflow -- synthetic load shaping, excluded from golden traces
+	r.VirtualNs = jitter()
+}

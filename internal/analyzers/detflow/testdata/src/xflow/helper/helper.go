@@ -1,0 +1,19 @@
+// Package helper holds the cross-package half of the taint fixtures:
+// a parameter that reaches a simtime sink, and a wall-clock source,
+// each observable only through this package's summaries.
+package helper
+
+import (
+	"time"
+
+	"simtime"
+)
+
+// Bump's parameter flows into a virtual-time sink: callers passing
+// tainted values are flagged at their call site.
+func Bump(ns int64) {
+	simtime.Advance(ns)
+}
+
+// Stamp launders a wall-clock read across the package boundary.
+func Stamp() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,26 @@
+// Package xflow exercises cross-package taint: the source, the
+// carrier, and the sink live in three different packages, and the
+// finding only exists if summaries propagate across all of them.
+package xflow
+
+import (
+	"simtime"
+
+	"xflow/helper"
+)
+
+func tick() {
+	helper.Bump(helper.Stamp()) // want `wall-clock value flows into a virtual-time sink inside xflow/helper\.Bump`
+}
+
+func tickDirect() {
+	simtime.Advance(helper.Stamp()) // want `wall-clock value flows into simtime\.Advance`
+}
+
+func tickFixed() {
+	helper.Bump(42)
+}
+
+func tickSuppressed() {
+	helper.Bump(helper.Stamp()) //hetmp:allow detflow -- wall alignment at boot, outside verified runs
+}

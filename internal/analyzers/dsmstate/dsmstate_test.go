@@ -1,0 +1,12 @@
+package dsmstate_test
+
+import (
+	"testing"
+
+	"hetmp/internal/analyzers/analysis/analysistest"
+	"hetmp/internal/analyzers/dsmstate"
+)
+
+func TestDsmstate(t *testing.T) {
+	analysistest.RunProgram(t, analysistest.TestData(), dsmstate.Analyzer, "dsm")
+}

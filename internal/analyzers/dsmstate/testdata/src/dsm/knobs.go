@@ -1,0 +1,29 @@
+package dsm
+
+// knobSet models the protocol upgrade knobs: cost-only by contract.
+type knobSet struct {
+	bias    int
+	settled int
+}
+
+// settleCost is a well-behaved knob hook: reads state, own bookkeeping.
+func (k *knobSet) settleCost(r *Region) int64 {
+	k.settled++
+	return int64(len(r.pages)) * int64(k.bias)
+}
+
+// settle reaches a mutation through a sanctioned helper: still a
+// violation — knobs must not change ownership even indirectly.
+func (k *knobSet) settle(r *Region) {
+	r.SettleAt(0) // want `knob hooks are cost-only: call to \(\*dsm\.Region\)\.SettleAt reaches a pageState mutation`
+}
+
+// poke mutates directly inside knobs.go.
+func (k *knobSet) poke(r *Region, pg int) {
+	r.pages[pg].copyset = 0 // want `knob hooks are cost-only: pageState mutated directly in knobs\.go`
+}
+
+// chain reaches the mutation two hops away, through another knob.
+func (k *knobSet) chain(r *Region, pg int) {
+	k.poke(r, pg) // want `knob hooks are cost-only: call to \(\*dsm\.knobSet\)\.poke reaches a pageState mutation`
+}

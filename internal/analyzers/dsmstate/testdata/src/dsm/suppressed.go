@@ -1,0 +1,6 @@
+package dsm
+
+// reset carries a reasoned suppression: harness-only state surgery.
+func (r *Region) reset(pg int) {
+	r.pages[pg] = pageState{} //hetmp:allow dsmstate -- fuzz harness rewinds state between iterations
+}

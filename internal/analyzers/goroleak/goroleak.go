@@ -1,0 +1,162 @@
+// Package goroleak implements the goroutine-leak analyzer for the
+// long-lived runtime packages (rpc, server, telemetry). Every
+// goroutine started there must have a completion signal on some path:
+// a sync.WaitGroup.Done, a channel close, or a channel send —
+// directly in the spawned body or transitively through any function it
+// calls. A goroutine with no such signal can never be joined by Close
+// or observed by a verified run's barrier, so it outlives the
+// component that spawned it; under the deterministic executor that is
+// both a resource leak and a source of cross-run interference.
+//
+// The check is signal-side on purpose: proving that some spawner
+// actually waits (wg.Add/Wait pairing, receive counts) is a
+// whole-program liveness question, but a goroutine that cannot even
+// signal is unjoinable no matter what the spawner does. Goroutines
+// whose target resolves to a function outside the analyzed program are
+// skipped rather than flagged.
+package goroleak
+
+import (
+	"go/ast"
+	"go/types"
+
+	"hetmp/internal/analyzers/analysis"
+	"hetmp/internal/analyzers/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:       "goroleak",
+	Doc:        "goroutines in rpc/server/telemetry must have a join or Close path: a WaitGroup.Done, channel close, or channel send reachable from the spawned body",
+	RunProgram: run,
+}
+
+// checkedSegments are the import-path segments whose packages own
+// long-lived goroutines; spawn sites elsewhere are out of scope.
+var checkedSegments = []string{"rpc", "server", "telemetry"}
+
+func run(pass *analysis.ProgramPass) error {
+	prog := pass.Prog
+
+	// signals[f] reports whether f contains a completion signal,
+	// directly or through any static callee.
+	signals := map[string]bool{}
+	prog.EachFunc(func(fn *analysis.Func) {
+		signals[fn.Full] = ownSignal(fn.Pkg.TypesInfo, fn.Decl.Body)
+	})
+	prog.Fixpoint(func() bool {
+		changed := false
+		prog.EachFunc(func(fn *analysis.Func) {
+			if signals[fn.Full] {
+				return
+			}
+			for _, callee := range fn.Callees {
+				if signals[callee] {
+					signals[fn.Full] = true
+					changed = true
+					return
+				}
+			}
+		})
+		return changed
+	})
+
+	prog.EachFunc(func(fn *analysis.Func) {
+		if !lintutil.HasSegment(fn.Pkg.ImportPath, checkedSegments...) || fn.Decl.Body == nil {
+			return
+		}
+		info := fn.Pkg.TypesInfo
+		ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+				if !litSignals(info, lit, signals) {
+					pass.Reportf(g.Pos(), "goroutine has no completion signal (no WaitGroup.Done, channel close, or channel send on any path): it cannot be joined or shut down")
+				}
+				return true
+			}
+			callee := analysis.StaticCallee(info, g.Call)
+			if callee == nil {
+				return true // dynamic target: cannot see the body
+			}
+			sig, known := signals[callee.FullName()]
+			if !known {
+				return true // outside the analyzed program
+			}
+			if !sig {
+				pass.Reportf(g.Pos(), "goroutine running %s has no completion signal (no WaitGroup.Done, channel close, or channel send on any path): it cannot be joined or shut down", callee.FullName())
+			}
+			return true
+		})
+	})
+	return nil
+}
+
+// ownSignal reports whether the body directly contains a completion
+// signal: a channel send, a close(...), or a sync.WaitGroup Done call.
+func ownSignal(info *types.Info, body *ast.BlockStmt) bool {
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true
+			return false
+		case *ast.CallExpr:
+			if isSignalCall(info, n) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// litSignals reports whether a spawned func literal signals
+// completion: directly, or via a call to a function that does.
+func litSignals(info *types.Info, lit *ast.FuncLit, signals map[string]bool) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true
+			return false
+		case *ast.CallExpr:
+			if isSignalCall(info, n) {
+				found = true
+				return false
+			}
+			if fn := analysis.StaticCallee(info, n); fn != nil && signals[fn.FullName()] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isSignalCall matches close(ch) and (*sync.WaitGroup).Done().
+func isSignalCall(info *types.Info, call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "close" {
+			return true
+		}
+	}
+	fn := lintutil.CalleeFunc(info, call)
+	if fn == nil || fn.Name() != "Done" {
+		return false
+	}
+	pkg, typ := lintutil.ReceiverNamed(fn)
+	return pkg == "sync" && typ == "WaitGroup"
+}

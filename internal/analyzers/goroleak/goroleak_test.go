@@ -1,0 +1,13 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"hetmp/internal/analyzers/analysis/analysistest"
+	"hetmp/internal/analyzers/goroleak"
+)
+
+func TestGoroleak(t *testing.T) {
+	analysistest.RunProgram(t, analysistest.TestData(), goroleak.Analyzer,
+		"work", "server")
+}

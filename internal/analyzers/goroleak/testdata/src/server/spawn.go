@@ -1,0 +1,51 @@
+// Package server (segment-matched to hetmp/internal/server) exercises
+// goroleak: leaking spawns of named functions and literals are
+// flagged; anything with a WaitGroup.Done, close, or send on some
+// path — even two calls deep in another package — is legal.
+package server
+
+import (
+	"sync"
+
+	"work"
+)
+
+func spawnLeak() {
+	go work.Spin() // want `goroutine running work\.Spin has no completion signal`
+}
+
+func spawnLitLeak(stop chan struct{}) {
+	go func() { // want `goroutine has no completion signal`
+		for range stop {
+		}
+	}()
+}
+
+func spawnJoined(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go work.Run(wg)
+}
+
+func spawnLitClose(done chan struct{}) {
+	go func() {
+		defer close(done)
+		work.Spin()
+	}()
+}
+
+func spawnLitSend(res chan int) {
+	go func() {
+		res <- 1
+	}()
+}
+
+func spawnLitDone(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+func spawnIndirect() {
+	go work.RunIndirect()
+}

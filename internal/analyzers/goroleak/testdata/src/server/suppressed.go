@@ -1,0 +1,14 @@
+package server
+
+import "work"
+
+// A process-lifetime daemon may be exempted, but only with a reason.
+
+func spawnDaemon() {
+	go work.Spin() //hetmp:allow goroleak -- metrics daemon, lives for the process
+}
+
+func spawnDaemonStandalone() {
+	//hetmp:allow goroleak -- crash repro helper, torn down with the process
+	go work.Spin()
+}

@@ -1,0 +1,34 @@
+// Package work holds the spawned bodies for the goroleak fixtures.
+// Its own import path has no rpc/server/telemetry segment, so spawn
+// sites HERE are out of scope — only its callers are checked.
+package work
+
+import "sync"
+
+var ready = make(chan struct{})
+
+// Spin never signals: joining it is impossible.
+func Spin() {
+	for i := 0; ; i++ {
+		_ = i
+	}
+}
+
+// Run signals through the WaitGroup handed to it.
+func Run(wg *sync.WaitGroup) {
+	defer wg.Done()
+}
+
+// RunIndirect signals two calls deep: only the transitive summary
+// sees it.
+func RunIndirect() {
+	step()
+}
+
+func step() {
+	announce()
+}
+
+func announce() {
+	close(ready)
+}

@@ -1,0 +1,599 @@
+// Package lockorder implements the interprocedural lock-acquisition-
+// order analyzer. It builds a global graph whose nodes are lock
+// identities — "pkg.Type.field" for mutexes embedded in named structs,
+// "pkg.var" for package-level mutexes — and whose edges record "b was
+// acquired while a was held", including acquisitions reached through
+// any depth of function calls. A cycle in that graph is a potential
+// deadlock: two executions can interleave so that each holds one lock
+// of the cycle and waits for the next. blockinglock already bans
+// blocking operations under a held lock within one function; lockorder
+// extends the discipline across function boundaries, where the
+// dangerous acquisition is hidden inside a callee.
+//
+// Three summaries are computed per function and propagated bottom-up:
+//
+//   - acquires: every lock the function takes, transitively — a call
+//     made under lock L adds edges L→acquires(callee);
+//   - netHeld: locks still held when the function returns (acquire
+//     helpers) — they join the caller's held set after the call;
+//   - netReleased: locks released that the function did not itself
+//     acquire (release helpers) — they leave the caller's held set.
+//
+// Identity is per lock FIELD, not per instance: two instances of the
+// same struct type locked in sequence produce a self-edge. That is
+// deliberate — instance-hierarchy locking needs an explicit
+// //hetmp:allow with the ordering argument spelled out.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"hetmp/internal/analyzers/analysis"
+	"hetmp/internal/analyzers/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:       "lockorder",
+	Doc:        "cross-function lock acquisition order must be acyclic; a cycle in the held-while-acquiring graph is a potential deadlock",
+	RunProgram: run,
+}
+
+// callSite is one static call made while locks were held.
+type callSite struct {
+	callee string
+	pos    token.Pos
+	held   []string
+}
+
+// facts are one function's direct lock behavior.
+type facts struct {
+	own   map[string]bool // locks acquired synchronously in the body
+	edges map[[2]string]token.Pos
+	calls []callSite
+	// syncCallees are static callees invoked on this goroutine — the
+	// propagation set for transitive acquires. Targets of `go` are
+	// deliberately absent.
+	syncCallees map[string]bool
+}
+
+func run(pass *analysis.ProgramPass) error {
+	prog := pass.Prog
+
+	// Walk every body to a fixpoint: the walk consumes callee
+	// netHeld/netReleased summaries, which the walk itself produces.
+	netHeld := map[string]map[string]bool{}
+	netRel := map[string]map[string]bool{}
+	allFacts := map[string]*facts{}
+	prog.Fixpoint(func() bool {
+		changed := false
+		prog.EachFunc(func(fn *analysis.Func) {
+			f, nh, nr := collect(fn, netHeld, netRel)
+			allFacts[fn.Full] = f
+			if !sameSet(netHeld[fn.Full], nh) {
+				netHeld[fn.Full] = nh
+				changed = true
+			}
+			if !sameSet(netRel[fn.Full], nr) {
+				netRel[fn.Full] = nr
+				changed = true
+			}
+		})
+		return changed
+	})
+
+	// Transitive acquires, propagated bottom-up to a fixpoint. Only
+	// SYNCHRONOUS callees count: a `go` statement's target runs on its
+	// own stack and simply waits for locks the spawner still holds —
+	// that is scheduling, not lock ordering.
+	acq := map[string]map[string]bool{}
+	prog.EachFunc(func(fn *analysis.Func) {
+		set := map[string]bool{}
+		for l := range allFacts[fn.Full].own {
+			set[l] = true
+		}
+		acq[fn.Full] = set
+	})
+	prog.Fixpoint(func() bool {
+		changed := false
+		prog.EachFunc(func(fn *analysis.Func) {
+			set := acq[fn.Full]
+			for callee := range allFacts[fn.Full].syncCallees {
+				for l := range acq[callee] {
+					if !set[l] {
+						set[l] = true
+						changed = true
+					}
+				}
+			}
+		})
+		return changed
+	})
+
+	// Global edge set: direct edges plus held-across-call edges.
+	edges := map[[2]string]token.Pos{}
+	addEdge := func(from, to string, pos token.Pos) {
+		key := [2]string{from, to}
+		if old, ok := edges[key]; !ok || before(prog.Fset, pos, old) {
+			edges[key] = pos
+		}
+	}
+	prog.EachFunc(func(fn *analysis.Func) {
+		f := allFacts[fn.Full]
+		for key, pos := range f.edges {
+			addEdge(key[0], key[1], pos)
+		}
+		for _, cs := range f.calls {
+			for to := range acq[cs.callee] {
+				for _, from := range cs.held {
+					if from == to && netHeld[cs.callee][to] {
+						// The callee's only relationship to this lock
+						// may be the acquisition that put it in OUR
+						// held set (an acquire helper called twice is
+						// still a real self-edge via the direct path).
+						continue
+					}
+					addEdge(from, to, cs.pos)
+				}
+			}
+		}
+	})
+
+	keys := make([][2]string, 0, len(edges))
+	for key := range edges {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+
+	// Reachability over the lock graph (adjacency built from the
+	// sorted edge list so traversal order is deterministic).
+	adj := map[string][]string{}
+	for _, key := range keys {
+		adj[key[0]] = append(adj[key[0]], key[1])
+	}
+	reaches := func(from, to string) bool {
+		seen := map[string]bool{}
+		stack := []string{from}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if n == to {
+				return true
+			}
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			stack = append(stack, adj[n]...)
+		}
+		return false
+	}
+
+	for _, key := range keys {
+		from, to := key[0], key[1]
+		if from == to {
+			pass.Reportf(edges[key], "re-acquiring %s while it is already held (mutexes are not reentrant: self-deadlock)", from)
+			continue
+		}
+		if reaches(to, from) {
+			pass.Reportf(edges[key], "acquiring %s while holding %s completes a lock-order cycle (potential deadlock)", to, from)
+		}
+	}
+	return nil
+}
+
+func sameSet(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range b {
+		if !a[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func before(fset *token.FileSet, a, b token.Pos) bool {
+	pa, pb := fset.Position(a), fset.Position(b)
+	if pa.Filename != pb.Filename {
+		return pa.Filename < pb.Filename
+	}
+	if pa.Line != pb.Line {
+		return pa.Line < pb.Line
+	}
+	return pa.Column < pb.Column
+}
+
+// collect walks one function body, tracking the held-lock set in
+// statement order (branch bodies see a copy: a lock acquired inside a
+// branch is not assumed held after it). It returns the function's
+// direct facts plus its netHeld / netReleased summaries.
+func collect(fn *analysis.Func, netHeld, netRel map[string]map[string]bool) (*facts, map[string]bool, map[string]bool) {
+	f := &facts{
+		own:         map[string]bool{},
+		edges:       map[[2]string]token.Pos{},
+		syncCallees: map[string]bool{},
+	}
+	if fn.Decl.Body == nil {
+		return f, map[string]bool{}, map[string]bool{}
+	}
+	w := &lockWalker{
+		info:        fn.Pkg.TypesInfo,
+		f:           f,
+		netHeld:     netHeld,
+		netRel:      netRel,
+		deferredRel: map[string]bool{},
+		relNotHeld:  map[string]bool{},
+	}
+	held := map[string]bool{}
+	w.stmts(fn.Decl.Body.List, held)
+	nh := map[string]bool{}
+	for l := range held {
+		if !w.deferredRel[l] {
+			nh[l] = true
+		}
+	}
+	return f, nh, w.relNotHeld
+}
+
+type lockWalker struct {
+	info    *types.Info
+	f       *facts
+	netHeld map[string]map[string]bool
+	netRel  map[string]map[string]bool
+
+	deferredRel map[string]bool // released by a defer, i.e. held until return
+	relNotHeld  map[string]bool // released without a matching acquire here
+
+	// goCtx marks walking a go-statement's func literal: everything in
+	// there happens on ANOTHER goroutine, so its acquisitions produce
+	// edges of their own but never count as the spawner's.
+	goCtx bool
+}
+
+// goSub derives a walker for a spawned func literal: shared facts for
+// edge/call recording, fresh release bookkeeping, goCtx set.
+func (w *lockWalker) goSub() *lockWalker {
+	return &lockWalker{
+		info:        w.info,
+		f:           w.f,
+		netHeld:     w.netHeld,
+		netRel:      w.netRel,
+		deferredRel: map[string]bool{},
+		relNotHeld:  map[string]bool{},
+		goCtx:       true,
+	}
+}
+
+func heldList(held map[string]bool) []string {
+	out := make([]string, 0, len(held))
+	for l := range held {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+func (w *lockWalker) stmts(list []ast.Stmt, held map[string]bool) {
+	for _, s := range list {
+		w.stmt(s, held)
+	}
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, held map[string]bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		w.expr(s.X, held)
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			w.expr(r, held)
+		}
+		for _, l := range s.Lhs {
+			w.expr(l, held)
+		}
+	case *ast.DeferStmt:
+		w.deferCall(s.Call, held)
+	case *ast.GoStmt:
+		// Arguments are evaluated synchronously, but the spawned body
+		// runs on its own stack without the spawner's locks: its
+		// acquisitions are walked in goCtx (edges recorded, nothing
+		// attributed to the spawner), and a named target is simply not
+		// a synchronous callee.
+		for _, a := range s.Call.Args {
+			w.expr(a, held)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.goSub().stmts(lit.Body.List, map[string]bool{})
+		}
+	case *ast.BlockStmt:
+		w.stmts(s.List, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.expr(s.Cond, held)
+		w.stmt(s.Body, copyHeld(held))
+		if s.Else != nil {
+			w.stmt(s.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond, held)
+		}
+		w.stmt(s.Body, copyHeld(held))
+		if s.Post != nil {
+			w.stmt(s.Post, copyHeld(held))
+		}
+	case *ast.RangeStmt:
+		w.expr(s.X, held)
+		w.stmt(s.Body, copyHeld(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			w.stmt(c, copyHeld(held))
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.stmt(s.Assign, held)
+		for _, c := range s.Body.List {
+			w.stmt(c, copyHeld(held))
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			w.stmt(c, copyHeld(held))
+		}
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			w.expr(e, held)
+		}
+		w.stmts(s.Body, held)
+	case *ast.CommClause:
+		if s.Comm != nil {
+			w.stmt(s.Comm, held)
+		}
+		w.stmts(s.Body, held)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, held)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.expr(r, held)
+		}
+	case *ast.SendStmt:
+		w.expr(s.Chan, held)
+		w.expr(s.Value, held)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, held)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		w.expr(s.X, held)
+	}
+}
+
+// deferCall handles a deferred call. A deferred Unlock (direct or via
+// a release helper) keeps the lock held for the rest of the body —
+// that is its point — but excludes it from netHeld. Anything else
+// deferred runs with whatever is held at return, approximated by the
+// current held set.
+func (w *lockWalker) deferCall(call *ast.CallExpr, held map[string]bool) {
+	if op, id := lockOp(w.info, call); op == opUnlock {
+		if id != "" {
+			w.deferredRel[id] = true
+		}
+		return
+	}
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		w.stmts(lit.Body.List, copyHeld(held))
+		return
+	}
+	for _, a := range call.Args {
+		w.expr(a, held)
+	}
+	fn := lintutil.CalleeFunc(w.info, call)
+	if fn == nil {
+		return
+	}
+	full := fn.FullName()
+	if !w.goCtx {
+		w.f.syncCallees[full] = true
+	}
+	if len(held) > 0 {
+		w.f.calls = append(w.f.calls, callSite{
+			callee: full,
+			pos:    call.Pos(),
+			held:   heldList(held),
+		})
+	}
+	for l := range w.netRel[full] {
+		w.deferredRel[l] = true
+	}
+}
+
+func (w *lockWalker) expr(e ast.Expr, held map[string]bool) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.CallExpr:
+		w.call(e, held)
+	case *ast.ParenExpr:
+		w.expr(e.X, held)
+	case *ast.BinaryExpr:
+		w.expr(e.X, held)
+		w.expr(e.Y, held)
+	case *ast.UnaryExpr:
+		w.expr(e.X, held)
+	case *ast.StarExpr:
+		w.expr(e.X, held)
+	case *ast.SelectorExpr:
+		w.expr(e.X, held)
+	case *ast.IndexExpr:
+		w.expr(e.X, held)
+		w.expr(e.Index, held)
+	case *ast.SliceExpr:
+		w.expr(e.X, held)
+	case *ast.TypeAssertExpr:
+		w.expr(e.X, held)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			w.expr(el, held)
+		}
+	case *ast.KeyValueExpr:
+		w.expr(e.Value, held)
+	case *ast.FuncLit:
+		// A func literal's body runs at some call site; approximate
+		// with the current held set (lexical context).
+		w.stmts(e.Body.List, copyHeld(held))
+	}
+}
+
+// call classifies one call: lock op, unlock op, or ordinary call.
+func (w *lockWalker) call(call *ast.CallExpr, held map[string]bool) {
+	for _, a := range call.Args {
+		w.expr(a, held)
+	}
+	op, id := lockOp(w.info, call)
+	switch op {
+	case opLock:
+		if id == "" {
+			return // unidentifiable lock (local variable): skip
+		}
+		if !w.goCtx {
+			w.f.own[id] = true
+		}
+		for from := range held {
+			key := [2]string{from, id}
+			if _, ok := w.f.edges[key]; !ok {
+				w.f.edges[key] = call.Pos()
+			}
+		}
+		held[id] = true
+	case opUnlock:
+		if id != "" {
+			if held[id] {
+				delete(held, id)
+			} else if !w.goCtx {
+				w.relNotHeld[id] = true
+			}
+		}
+	default:
+		fn := lintutil.CalleeFunc(w.info, call)
+		if fn == nil {
+			if lit, ok := call.Fun.(*ast.FuncLit); ok {
+				w.stmts(lit.Body.List, copyHeld(held))
+			}
+			return
+		}
+		full := fn.FullName()
+		if !w.goCtx {
+			w.f.syncCallees[full] = true
+		}
+		if len(held) > 0 {
+			w.f.calls = append(w.f.calls, callSite{
+				callee: full,
+				pos:    call.Pos(),
+				held:   heldList(held),
+			})
+		}
+		// An acquire helper leaves its lock held in us; a release
+		// helper takes one away.
+		for l := range w.netHeld[full] {
+			held[l] = true
+		}
+		for l := range w.netRel[full] {
+			delete(held, l)
+		}
+	}
+}
+
+type lockOpKind int
+
+const (
+	opNone lockOpKind = iota
+	opLock
+	opUnlock
+)
+
+// lockOp classifies a call as a sync.Mutex/RWMutex acquire or release
+// and computes the lock's program-wide identity.
+func lockOp(info *types.Info, call *ast.CallExpr) (lockOpKind, string) {
+	fn := lintutil.CalleeFunc(info, call)
+	if fn == nil {
+		return opNone, ""
+	}
+	recvPkg, recvType := lintutil.ReceiverNamed(fn)
+	if recvPkg != "sync" || (recvType != "Mutex" && recvType != "RWMutex") {
+		return opNone, ""
+	}
+	var kind lockOpKind
+	switch fn.Name() {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		kind = opLock
+	case "Unlock", "RUnlock":
+		kind = opUnlock
+	default:
+		return opNone, ""
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return kind, ""
+	}
+	return kind, lockIdent(info, sel.X)
+}
+
+// lockIdent names a lock expression: "pkg.Type.field" for a mutex
+// field of a named struct, "pkg.var" for a package-level mutex, ""
+// (untrackable) otherwise.
+func lockIdent(info *types.Info, e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		tv, ok := info.Types[e.X]
+		if !ok {
+			return ""
+		}
+		pkg, typ := lintutil.NamedTypeOf(tv.Type)
+		if typ == "" {
+			return ""
+		}
+		return pkg + "." + typ + "." + e.Sel.Name
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil || obj.Pkg() == nil {
+			return ""
+		}
+		if v, ok := obj.(*types.Var); ok && v.Parent() == obj.Pkg().Scope() {
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+	}
+	return ""
+}

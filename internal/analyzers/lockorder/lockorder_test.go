@@ -1,0 +1,17 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"hetmp/internal/analyzers/analysis/analysistest"
+	"hetmp/internal/analyzers/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	analysistest.RunProgram(t, analysistest.TestData(), lockorder.Analyzer, "locks")
+}
+
+func TestLockorderCrossPackage(t *testing.T) {
+	analysistest.RunProgram(t, analysistest.TestData(), lockorder.Analyzer,
+		"xlocks/store", "xlocks")
+}

@@ -1,0 +1,114 @@
+// Package locks exercises the lockorder analyzer: a three-lock cycle
+// assembled from three functions (one leg hidden behind a call), a
+// self-deadlock through a helper, and a consistent ordering that must
+// stay clean.
+package locks
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+type C struct{ mu sync.Mutex }
+
+// takeAB, takeBC, and takeCA each look locally reasonable; only the
+// global graph A→B→C→A reveals the deadlock. Every edge of the cycle
+// is reported at the position where the second lock is acquired.
+
+func takeAB(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want `acquiring locks\.B\.mu while holding locks\.A\.mu completes a lock-order cycle`
+	b.mu.Unlock()
+}
+
+func takeBC(b *B, c *C) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	lockC(c) // want `acquiring locks\.C\.mu while holding locks\.B\.mu completes a lock-order cycle`
+}
+
+func lockC(c *C) {
+	c.mu.Lock()
+	c.mu.Unlock()
+}
+
+func takeCA(c *C, a *A) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	a.mu.Lock() // want `acquiring locks\.A\.mu while holding locks\.C\.mu completes a lock-order cycle`
+	a.mu.Unlock()
+}
+
+// Self-deadlock: the re-acquisition is hidden inside a helper.
+
+type S struct{ mu sync.Mutex }
+
+func reenter(s *S) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	helperLockS(s) // want `re-acquiring locks\.S\.mu while it is already held`
+}
+
+func helperLockS(s *S) {
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+// Consistent ordering: F before G everywhere. No cycle, no findings.
+
+type F struct{ mu sync.Mutex }
+type G struct{ mu sync.Mutex }
+
+func takeFG(f *F, g *G) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	g.mu.Lock()
+	g.mu.Unlock()
+}
+
+func takeFGAgain(f *F, g *G) {
+	f.mu.Lock()
+	g.mu.Lock()
+	g.mu.Unlock()
+	f.mu.Unlock()
+}
+
+// Release before the next acquire breaks the would-be edge: no edge
+// G→F is recorded because F's lock is gone by the time G is taken.
+
+func sequential(f *F, g *G) {
+	g.mu.Lock()
+	g.mu.Unlock()
+	f.mu.Lock()
+	f.mu.Unlock()
+}
+
+// Spawning under a held lock is not holding the lock inside the
+// goroutine: neither the named target nor the literal body produces an
+// H→I edge, so the reverse function's I→H edge closes no cycle and
+// everything here stays clean.
+
+type H struct{ mu sync.Mutex }
+type I struct{ mu sync.Mutex }
+
+func spawnUnderLock(h *H, i *I) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	go lockI(i)
+	go func() {
+		i.mu.Lock()
+		i.mu.Unlock()
+	}()
+}
+
+func lockI(i *I) {
+	i.mu.Lock()
+	i.mu.Unlock()
+}
+
+func reverse(h *H, i *I) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	h.mu.Lock()
+	h.mu.Unlock()
+}

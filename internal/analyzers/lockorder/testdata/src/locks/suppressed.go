@@ -1,0 +1,23 @@
+package locks
+
+import "sync"
+
+// A two-lock cycle where one leg carries a reasoned suppression: the
+// suppressed edge stays silent, the other leg is still reported.
+
+type D struct{ mu sync.Mutex }
+type E struct{ mu sync.Mutex }
+
+func takeDE(d *D, e *E) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e.mu.Lock() //hetmp:allow lockorder -- boot path, single-threaded before the executor starts
+	e.mu.Unlock()
+}
+
+func takeED(d *D, e *E) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	d.mu.Lock() // want `acquiring locks\.D\.mu while holding locks\.E\.mu completes a lock-order cycle`
+	d.mu.Unlock()
+}

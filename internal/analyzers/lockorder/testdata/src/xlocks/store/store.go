@@ -1,0 +1,21 @@
+// Package store is the lower half of the cross-package lockorder
+// fixture: a table guarded by its own mutex, exposed both as a
+// self-contained locked accessor (Get) and as an acquire/release
+// helper pair whose lock outlives the call.
+package store
+
+import "sync"
+
+type Table struct{ mu sync.Mutex }
+
+// Acquire leaves Table.mu held on return: callers' later acquisitions
+// happen under it, which only the netHeld summary can see.
+func (t *Table) Acquire() { t.mu.Lock() }
+
+func (t *Table) Release() { t.mu.Unlock() }
+
+func (t *Table) Get() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return 1
+}

@@ -1,0 +1,26 @@
+// Package xlocks closes a two-lock cycle across a package boundary:
+// lookup holds the index lock and takes the store lock inside
+// store.Get; insert holds the store lock (left held by the Acquire
+// helper) and takes the index lock directly.
+package xlocks
+
+import (
+	"sync"
+
+	"xlocks/store"
+)
+
+type Index struct{ mu sync.Mutex }
+
+func lookup(ix *Index, t *store.Table) int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return t.Get() // want `acquiring xlocks/store\.Table\.mu while holding xlocks\.Index\.mu completes a lock-order cycle`
+}
+
+func insert(ix *Index, t *store.Table) {
+	t.Acquire()
+	defer t.Release()
+	ix.mu.Lock() // want `acquiring xlocks\.Index\.mu while holding xlocks/store\.Table\.mu completes a lock-order cycle`
+	ix.mu.Unlock()
+}

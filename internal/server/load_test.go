@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"strings"
 	"testing"
 )
 
@@ -166,5 +167,48 @@ func TestRunLoadMembershipChurn(t *testing.T) {
 	}
 	if report.WarmProbes != 0 {
 		t.Fatalf("warm probes = %d, want 0", report.WarmProbes)
+	}
+}
+
+// TestRunLoadMembershipChurnDrainAddRegression pins the fix for the
+// PR 9 -race flake: a churn add landing while the removed lane's
+// worker had not yet observed its drained queue used to fail with
+// ErrNodeExists, and whether it failed depended on goroutine timing —
+// so the add's ok/err outcome (hashed) and the eligible set (plans,
+// virtual time) drifted between the verified double runs. The
+// same-milestone remove+add below guarantees the old lane is still
+// draining when the add applies; the double-run is looped 10× to give
+// the race detector scheduling diversity.
+func TestRunLoadMembershipChurnDrainAddRegression(t *testing.T) {
+	members, err := ParseMembers("n0:xeon:1,n1:thunderx:1,n2:thunderx:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	churn, err := ParseChurn("remove:n1@8,add:n1:thunderx:1@8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		report, err := RunLoadVerified(LoadConfig{
+			Jobs: 16, Tenants: 2, Signatures: 3, Seed: 5,
+			Members: members, Churn: churn,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !report.DeterminismChecked || !report.DeterminismOK {
+			t.Fatalf("iter %d: drain-add determinism check failed: %v", i, report.SLOFailures)
+		}
+		if report.ChurnApplied != 2 {
+			t.Fatalf("iter %d: churn applied %d, want 2", i, report.ChurnApplied)
+		}
+		for _, tr := range report.Membership.Transitions {
+			if strings.Contains(tr, "churn-add") && strings.HasSuffix(tr, ":err") {
+				t.Fatalf("iter %d: add over draining lane failed: %s", i, tr)
+			}
+		}
+		if st := report.Membership.Nodes["n1"].State; st != "active" {
+			t.Fatalf("iter %d: n1 state %s after readmission, want active", i, st)
+		}
 	}
 }

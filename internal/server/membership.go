@@ -316,6 +316,16 @@ func (s *RegionServer) addNodeLocked(mem Member) error {
 		mem.Weight = 1
 	}
 	old := s.members[mem.Name]
+	if old != nil && old.state == NodeDraining {
+		// Finalize the removal here rather than waiting for the old
+		// worker to observe its empty queue: whether that wake has
+		// happened by the add milestone is a wall-clock race, and the
+		// add's ok/err outcome feeds the dispatch hash and the eligible
+		// set. The old worker exits on its next wake (or after finishing
+		// a chunk already in flight); its queue was rehomed at remove.
+		old.state = NodeRemoved
+		s.logf("server: node %s removed (readmitted while draining)", mem.Name)
+	}
 	if old != nil && old.state != NodeRemoved {
 		return fmt.Errorf("server: node %s: %w", mem.Name, ErrNodeExists)
 	}

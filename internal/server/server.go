@@ -258,6 +258,14 @@ type job struct {
 	admitted time.Time
 	result   chan Result
 
+	// prober is claimed under s.mu at dispatch: the first-dispatched
+	// job of a cold signature probes, regardless of which runJob
+	// goroutine reaches the lane first. Letting goroutine scheduling
+	// pick the prober made virtual time timing-dependent on the
+	// membership path (a later split-plan job winning the race
+	// collapses to a monolithic plan with different chunk seeds).
+	prober bool
+
 	// Membership fields, set by planLocked under s.mu at dispatch:
 	// the chunk plan and its exactly-once accounting. invsPlanned must
 	// equal invsDone when the last chunk completes — the zero-lost-
@@ -668,6 +676,7 @@ func (s *RegionServer) schedule() {
 				if s.members != nil {
 					s.planLocked(j, d)
 				}
+				s.claimLaneLocked(j)
 				launches = append(launches, launch{j, t})
 			}
 		}
@@ -695,11 +704,33 @@ func queueLen(s *RegionServer, t *tenantState) int {
 	return len(t.queue)
 }
 
+// claimLaneLocked assigns the prober role at dispatch time: the
+// first-dispatched job of a cold signature claims the lane under the
+// scheduler lock. Deciding this in acquireLane instead let runJob
+// goroutine scheduling pick the prober, which (on the membership
+// path) selected between structurally different chunk plans and made
+// total virtual time drift across identically seeded runs.
+func (s *RegionServer) claimLaneLocked(j *job) {
+	ln, ok := s.lanes[j.sig]
+	if !ok {
+		ln = &lane{}
+		s.lanes[j.sig] = ln
+	}
+	if ln.state == laneCold {
+		ln.state = laneProbing
+		ln.firstTenant = j.spec.Tenant
+		ln.warmCh = make(chan struct{})
+		j.prober = true
+	}
+}
+
 // acquireLane gates a dispatched job on its signature's probe lane.
 // It returns (waitCh, isProber, firstTenant): a nil waitCh means the
 // signature is already warm; a non-nil waitCh means wait for the
 // prober; isProber means this job IS the prober and must call
-// laneDone when finished.
+// laneDone when finished. The prober role is normally claimed at
+// dispatch (claimLaneLocked); the laneCold arm below only reassigns
+// it after a failed prober reset the lane.
 func (s *RegionServer) acquireLane(j *job) (wait <-chan struct{}, prober bool, firstTenant string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -707,6 +738,9 @@ func (s *RegionServer) acquireLane(j *job) (wait <-chan struct{}, prober bool, f
 	if !ok {
 		ln = &lane{}
 		s.lanes[j.sig] = ln
+	}
+	if j.prober && ln.warmCh != nil && ln.state == laneProbing {
+		return nil, true, ln.firstTenant
 	}
 	switch ln.state {
 	case laneCold:
